@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildBench(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "quickbench")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestBenchList(t *testing.T) {
+	bin := buildBench(t)
+	out, err := exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, id := range []string{"T1", "T2", "F1", "F8", "A3"} {
+		if !strings.Contains(string(out), id) {
+			t.Errorf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestBenchSingleExperiment(t *testing.T) {
+	bin := buildBench(t)
+	out, err := exec.Command(bin, "-exp", "T1", "-threads", "1,2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Prototype configuration") {
+		t.Errorf("T1 output:\n%s", out)
+	}
+}
+
+func TestBenchBadArgs(t *testing.T) {
+	bin := buildBench(t)
+	if out, err := exec.Command(bin, "-exp", "Z9").CombinedOutput(); err == nil {
+		t.Errorf("unknown experiment accepted:\n%s", out)
+	}
+	if out, err := exec.Command(bin, "-threads", "zero").CombinedOutput(); err == nil {
+		t.Errorf("bad thread list accepted:\n%s", out)
+	}
+}

@@ -1,0 +1,301 @@
+// Command quickrec records, replays, verifies and inspects executions of
+// the catalogue workloads on the simulated QuickRec prototype.
+//
+// Usage:
+//
+//	quickrec list
+//	quickrec record  -w radix -threads 4 -seed 42 -o radix.qrec
+//	quickrec replay  -w radix -i radix.qrec
+//	quickrec verify  -w radix -i radix.qrec
+//	quickrec inspect -i radix.qrec
+//	quickrec debug   -i radix.qrec -t 1 -n 5000 -trace 10
+//	quickrec analyze -i radix.qrec
+//	quickrec record  -prog examples/qasm/demo.qasm -o demo.qrec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	quickrec "repro"
+	"repro/internal/analysis"
+	"repro/internal/chunk"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "list":
+		err = cmdList()
+	case "record":
+		err = cmdRecord(args)
+	case "replay":
+		err = cmdReplay(args, false)
+	case "verify":
+		err = cmdReplay(args, true)
+	case "inspect":
+		err = cmdInspect(args)
+	case "debug":
+		err = cmdDebug(args)
+	case "analyze":
+		err = cmdAnalyze(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickrec:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: quickrec <list|record|replay|verify|inspect|debug|analyze> [flags]
+  list                             show the workload catalogue
+  record  -w NAME | -prog FILE.qasm [-threads N] [-seed S] [-hw] -o FILE
+  replay  -w NAME -i FILE          replay a recording
+  verify  -w NAME -i FILE          replay and verify against the recording
+  inspect -i FILE                  summarise a recording's logs
+  debug   -i FILE -t TID -n COUNT  replay to thread TID's COUNT-th instruction and dump state
+  analyze -i FILE                  post-mortem statistics: chunking, conflicts, concurrency`)
+}
+
+func cmdList() error {
+	t := report.Table{Title: "Workload catalogue", Columns: []string{"name", "kind", "description"}}
+	for _, w := range quickrec.Workloads() {
+		t.AddRow(w.Name, w.Kind, w.Description)
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	name := fs.String("w", "", "workload name")
+	progPath := fs.String("prog", "", "qasm program file (alternative to -w)")
+	threads := fs.Int("threads", 4, "thread count")
+	seed := fs.Uint64("seed", 1, "scheduler seed")
+	hw := fs.Bool("hw", false, "hardware-only cost accounting")
+	out := fs.String("o", "", "output recording file")
+	fs.Parse(args)
+	if (*name == "" && *progPath == "") || *out == "" {
+		return fmt.Errorf("record needs -w or -prog, and -o")
+	}
+	prog, err := loadProgram(*name, *progPath, *threads)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		*name = prog.Name
+	}
+	rec, err := quickrec.Record(prog, quickrec.Options{Threads: *threads, Seed: *seed, HardwareOnly: *hw})
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, rec.Marshal(), 0o644); err != nil {
+		return err
+	}
+	st := rec.RecordStats
+	fmt.Printf("recorded %s: %d threads, %d instrs, %d cycles, %d chunks, %d input records -> %s\n",
+		*name, rec.Threads, st.Retired, st.Cycles, totalChunks(rec), rec.InputLog.Len(), *out)
+	return nil
+}
+
+// loadProgram resolves the program to run against: a qasm source file
+// when progPath is set, otherwise the named catalogue workload.
+func loadProgram(name, progPath string, threads int) (*quickrec.Program, error) {
+	if progPath != "" {
+		src, err := os.ReadFile(progPath)
+		if err != nil {
+			return nil, err
+		}
+		return quickrec.ParseProgram(string(src))
+	}
+	return quickrec.BuildWorkload(name, threads)
+}
+
+func loadRecording(fs *flag.FlagSet, in string) (*quickrec.Recording, error) {
+	if in == "" {
+		return nil, fmt.Errorf("missing -i recording file")
+	}
+	data, err := os.ReadFile(in)
+	if err != nil {
+		return nil, err
+	}
+	return quickrec.LoadRecording(data)
+}
+
+func cmdReplay(args []string, verify bool) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	name := fs.String("w", "", "workload name")
+	progPath := fs.String("prog", "", "qasm program file (alternative to -w)")
+	in := fs.String("i", "", "recording file")
+	fs.Parse(args)
+	rec, err := loadRecording(fs, *in)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		*name = rec.ProgramName
+	}
+	prog, err := loadProgram(*name, *progPath, rec.Threads)
+	if err != nil {
+		return err
+	}
+	rr, err := quickrec.Replay(prog, rec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %s: %d chunks, %d input records, %d steps\n",
+		rec.ProgramName, rr.ChunksExecuted, rr.InputsApplied, rr.Steps)
+	if verify {
+		if err := quickrec.Verify(rec, rr); err != nil {
+			return err
+		}
+		fmt.Println("verified: replay reproduced the recorded execution exactly")
+	}
+	return nil
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	in := fs.String("i", "", "recording file")
+	fs.Parse(args)
+	rec, err := loadRecording(fs, *in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recording of %q: %d threads, output %d B, mem checksum %#x\n",
+		rec.ProgramName, rec.Threads, len(rec.Output), rec.MemChecksum)
+
+	t := report.Table{Title: "Per-thread logs", Columns: []string{"thread", "chunks", "instrs", "ts-delta B", "input recs"}}
+	perThreadInputs := map[int]int{}
+	for _, r := range rec.InputLog.Records {
+		perThreadInputs[r.Thread]++
+	}
+	var reasons stats.Counter
+	for tid, l := range rec.ChunkLogs {
+		t.AddRow(report.U(uint64(tid)), report.U(uint64(l.Len())),
+			report.U(l.TotalInstructions()), report.U(uint64(l.EncodedSize(chunk.Delta{}))),
+			report.U(uint64(perThreadInputs[tid])))
+		for _, e := range l.Entries {
+			reasons.Inc(int(e.Reason))
+		}
+	}
+	fmt.Print(t.String())
+
+	rt := report.Table{Title: "Chunk termination reasons", Columns: []string{"reason", "count", "share"}}
+	for _, k := range reasons.Keys() {
+		rt.AddRow(chunk.Reason(k).String(), report.U(reasons.Get(k)), report.Pct(reasons.Fraction(k)))
+	}
+	fmt.Print(rt.String())
+	return nil
+}
+
+func cmdDebug(args []string) error {
+	fs := flag.NewFlagSet("debug", flag.ExitOnError)
+	in := fs.String("i", "", "recording file")
+	tid := fs.Int("t", 0, "thread ID")
+	n := fs.Uint64("n", 0, "retired-instruction position")
+	traceLen := fs.Uint64("trace", 0, "also show the last N instructions before the position")
+	progPath := fs.String("prog", "", "qasm program file (for non-catalogue recordings)")
+	fs.Parse(args)
+	rec, err := loadRecording(fs, *in)
+	if err != nil {
+		return err
+	}
+	prog, err := loadProgram(rec.ProgramName, *progPath, rec.Threads)
+	if err != nil {
+		return err
+	}
+	ps, err := quickrec.ReplayUntil(prog, rec, *tid, *n)
+	if err != nil {
+		return err
+	}
+	if !ps.Hit {
+		fmt.Printf("recording ended before thread %d retired %d instructions; showing final state\n", *tid, *n)
+	}
+	ctx := ps.Contexts[*tid]
+	fmt.Printf("thread %d paused at PC %d after %d retired instructions\n", *tid, ctx.PC, ctx.Retired)
+	if ctx.PC >= 0 && ctx.PC < len(prog.Code) {
+		fmt.Printf("next instruction: %s\n", prog.Code[ctx.PC])
+	}
+	t := report.Table{Title: "Registers (non-zero)", Columns: []string{"reg", "value"}}
+	for r, v := range ctx.Regs {
+		if v != 0 {
+			t.AddRow(fmt.Sprintf("r%d", r), fmt.Sprintf("%#x", v))
+		}
+	}
+	fmt.Print(t.String())
+	fmt.Printf("other threads:")
+	for otid, octx := range ps.Contexts {
+		if otid != *tid {
+			fmt.Printf(" t%d@pc=%d/retired=%d", otid, octx.PC, octx.Retired)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("output so far: %d bytes; items executed: %d\n", len(ps.Output), ps.ItemsExecuted)
+	if *traceLen > 0 {
+		from := uint64(0)
+		if *n > *traceLen {
+			from = *n - *traceLen
+		}
+		entries, err := quickrec.Trace(prog, rec, *tid, from, *n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nlast %d steps of thread %d:\n", len(entries), *tid)
+		for _, e := range entries {
+			fmt.Printf("  [%7d] pc=%-4d %s\n", e.Retired, e.PC, e.Instr)
+		}
+	}
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	in := fs.String("i", "", "recording file")
+	fs.Parse(args)
+	rec, err := loadRecording(fs, *in)
+	if err != nil {
+		return err
+	}
+	rep := analysis.Analyze(rec.ChunkLogs, rec.InputLog)
+	fmt.Printf("recording of %q: %d instructions in %d chunks + %d input records\n",
+		rec.ProgramName, rep.TotalInstructions, rep.TotalChunks, rep.TotalInputs)
+	fmt.Printf("recorded concurrency ~%.2f threads; replay serialization %.2f\n",
+		rep.Concurrency, rep.ReplaySerialization)
+
+	t := report.Table{Title: "Per-thread behaviour", Columns: []string{
+		"thread", "chunks", "instrs", "mean chunk", "conflicts", "conf/kinstr", "syscall chunks", "inputs"}}
+	for _, th := range rep.Threads {
+		t.AddRow(report.U(uint64(th.Thread)), report.U(uint64(th.Chunks)),
+			report.U(th.Instructions), report.F(th.MeanChunk, 1),
+			report.U(uint64(th.Conflicts)), report.F(th.ConflictsPerKinstr, 2),
+			report.U(uint64(th.Syscalls)), report.U(uint64(th.InputRecords)))
+	}
+	fmt.Print(t.String())
+
+	rt := report.Table{Title: "Chunk termination reasons", Columns: []string{"reason", "count", "share"}}
+	for _, k := range rep.Reasons.Keys() {
+		rt.AddRow(chunk.Reason(k).String(), report.U(rep.Reasons.Get(k)), report.Pct(rep.Reasons.Fraction(k)))
+	}
+	fmt.Print(rt.String())
+	return nil
+}
+
+func totalChunks(rec *quickrec.Recording) int {
+	n := 0
+	for _, l := range rec.ChunkLogs {
+		n += l.Len()
+	}
+	return n
+}

@@ -1,0 +1,63 @@
+// Loginspector: look inside a QuickRec recording — per-thread chunk
+// streams with timestamps and termination reasons, the serialized sizes
+// under each encoding, and the input log's records. This is the raw
+// material the replayer consumes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	quickrec "repro"
+)
+
+func main() {
+	prog, err := quickrec.BuildWorkload("pingpong", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := quickrec.Record(prog, quickrec.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("recording of %q, %d threads\n\n", rec.ProgramName, rec.Threads)
+	for tid, lg := range rec.ChunkLogs {
+		fmt.Printf("thread %d: %d chunks covering %d instructions\n",
+			tid, lg.Len(), lg.TotalInstructions())
+		// Show the first few chunks verbatim.
+		for i, e := range lg.Entries {
+			if i == 8 {
+				fmt.Printf("  ... %d more\n", lg.Len()-8)
+				break
+			}
+			fmt.Printf("  %s\n", e)
+		}
+	}
+
+	fmt.Printf("\ninput log: %d records, %d data bytes\n",
+		rec.InputLog.Len(), rec.InputLog.DataBytes())
+	for i, r := range rec.InputLog.Records {
+		if i == 6 {
+			fmt.Printf("  ... %d more\n", rec.InputLog.Len()-6)
+			break
+		}
+		fmt.Printf("  %s\n", r)
+	}
+
+	// Serialized footprint: the whole recording in one bundle.
+	data := rec.Marshal()
+	fmt.Printf("\nserialized bundle: %d bytes (replayable artifact)\n", len(data))
+	reloaded, err := quickrec.LoadRecording(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rr, err := quickrec.Replay(prog, reloaded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := quickrec.Verify(reloaded, rr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reloaded bundle replays and verifies cleanly")
+}

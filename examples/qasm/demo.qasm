@@ -1,0 +1,51 @@
+; demo.qasm — a bank with a lost-update race, written in the textual
+; assembly format. Record it with:
+;
+;   go run ./cmd/quickrec record -prog examples/qasm/demo.qasm -o demo.qrec
+;
+; then verify / debug / analyze the recording. The same file also runs
+; through examples/qasm/main.go.
+.name qasm-bank
+.threads 4
+.alloc balance 1
+.alloc lock 1
+.alloc bar 2
+
+        li   r3, @balance
+        li   r5, 0                 ; deposits made
+        li   r8, 250               ; deposits per thread
+
+        ; Even threads deposit under the lock; odd threads race (bug!).
+        andi r6, r1, 1
+        bne  r6, r0, racer
+
+locked: li   r7, @lock
+        plock r7
+        ld   r6, [r3+0]
+        addi r6, r6, 1
+        st   [r3+0], r6
+        li   r7, @lock
+        punlock r7
+        addi r5, r5, 1
+        bne  r5, r8, locked
+        jmp  join
+
+racer:  ld   r6, [r3+0]            ; unlocked read-modify-write
+        addi r6, r6, 1
+        st   [r3+0], r6
+        addi r5, r5, 1
+        bne  r5, r8, racer
+
+join:   li   r9, @bar
+        pbarrier r9
+
+        ; Thread 0 reports the final balance on fd 1.
+        bne  r1, r0, done
+        ld   r6, [r3+0]
+        st   [r29+0], r6
+        li   r10, 2                ; SysWrite
+        li   r11, 1
+        mov  r12, r29
+        li   r13, 8
+        syscall
+done:   halt

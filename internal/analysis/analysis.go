@@ -1,0 +1,140 @@
+// Package analysis derives post-mortem statistics from QuickRec
+// recordings: per-thread chunking behaviour, conflict intensity, and an
+// estimate of how concurrent the recorded execution actually was —
+// the quantities a tuning or debugging workflow reads off the logs
+// without re-executing anything.
+package analysis
+
+import (
+	"repro/internal/capo"
+	"repro/internal/chunk"
+	"repro/internal/stats"
+)
+
+// ThreadStats summarises one thread's log.
+type ThreadStats struct {
+	Thread       int
+	Chunks       int
+	Instructions uint64
+	// Conflicts counts chunks terminated by RAW/WAR/WAW snoops.
+	Conflicts int
+	// Syscalls counts syscall-terminated chunks; InputRecords counts the
+	// thread's input-log entries.
+	Syscalls     int
+	InputRecords int
+	// MeanChunk is the average chunk size in instructions.
+	MeanChunk float64
+	// ConflictsPerKinstr normalises conflict density.
+	ConflictsPerKinstr float64
+}
+
+// Report is the full analysis of one recording.
+type Report struct {
+	Threads []ThreadStats
+	// TotalInstructions across all threads.
+	TotalInstructions uint64
+	// TotalChunks and TotalInputs across all threads.
+	TotalChunks int
+	TotalInputs int
+	// Reasons tallies chunk terminations by chunk.Reason.
+	Reasons stats.Counter
+	// Concurrency estimates how many threads were effectively executing
+	// together in the recorded run: each chunk occupies the timestamp
+	// interval (previous same-thread ts, own ts]; the estimate is the
+	// instruction-weighted mean number of other-thread intervals each
+	// chunk overlaps, plus one. 1.0 means serial; the thread count is
+	// the ceiling.
+	Concurrency float64
+	// ReplaySerialization is distinct-timestamps/items: 1.0 means the
+	// conservative replayer runs items strictly one at a time; lower
+	// values mean ts-sharing items could replay concurrently.
+	ReplaySerialization float64
+}
+
+// interval is a chunk's timestamp span.
+type interval struct {
+	lo, hi uint64 // (lo, hi]
+	instrs uint64
+	thread int
+}
+
+// Analyze computes the report from a recording's logs.
+func Analyze(logs []*chunk.Log, input *capo.InputLog) *Report {
+	r := &Report{}
+	var intervals []interval
+	distinctTS := map[uint64]struct{}{}
+	items := 0
+
+	for tid, l := range logs {
+		ts := ThreadStats{Thread: tid, Chunks: l.Len()}
+		var prevTS uint64
+		first := true
+		for _, e := range l.Entries {
+			ts.Instructions += e.Size
+			r.Reasons.Inc(int(e.Reason))
+			if e.Reason.IsConflict() {
+				ts.Conflicts++
+			}
+			if e.Reason == chunk.ReasonSyscall {
+				ts.Syscalls++
+			}
+			lo := prevTS
+			if first {
+				lo = 0
+				first = false
+			}
+			intervals = append(intervals, interval{lo: lo, hi: e.TS + 1, instrs: e.Size, thread: tid})
+			prevTS = e.TS
+			distinctTS[e.TS] = struct{}{}
+			items++
+		}
+		if ts.Chunks > 0 {
+			ts.MeanChunk = float64(ts.Instructions) / float64(ts.Chunks)
+		}
+		if ts.Instructions > 0 {
+			ts.ConflictsPerKinstr = float64(ts.Conflicts) / (float64(ts.Instructions) / 1000)
+		}
+		r.Threads = append(r.Threads, ts)
+		r.TotalInstructions += ts.Instructions
+		r.TotalChunks += ts.Chunks
+	}
+	if input != nil {
+		r.TotalInputs = input.Len()
+		for _, rec := range input.Records {
+			if rec.Thread < len(r.Threads) {
+				r.Threads[rec.Thread].InputRecords++
+			}
+			distinctTS[rec.TS] = struct{}{}
+			items++
+		}
+	}
+	if items > 0 {
+		r.ReplaySerialization = float64(len(distinctTS)) / float64(items)
+	}
+	r.Concurrency = concurrency(intervals, r.TotalInstructions)
+	return r
+}
+
+// concurrency computes the instruction-weighted mean overlap count.
+// O(n^2) over chunks; recordings in this repository hold at most a few
+// thousand chunks, so brute force is fine and obviously correct.
+func concurrency(iv []interval, totalInstrs uint64) float64 {
+	if totalInstrs == 0 {
+		return 0
+	}
+	var weighted float64
+	for i := range iv {
+		overlapThreads := map[int]struct{}{}
+		for j := range iv {
+			if iv[j].thread == iv[i].thread {
+				continue
+			}
+			// Overlap of (lo, hi] intervals.
+			if iv[j].lo < iv[i].hi && iv[i].lo < iv[j].hi {
+				overlapThreads[iv[j].thread] = struct{}{}
+			}
+		}
+		weighted += float64(iv[i].instrs) * float64(1+len(overlapThreads))
+	}
+	return weighted / float64(totalInstrs)
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/capo"
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func TestAnalyzeHandConstructed(t *testing.T) {
+	// Two threads, fully serialized: thread 0's chunks at ts 0,2 and
+	// thread 1's at ts 1,3, each dependent on the previous.
+	l0 := &chunk.Log{Thread: 0}
+	l0.Append(chunk.Entry{Size: 100, TS: 0, Reason: chunk.ReasonConflictRAW})
+	l0.Append(chunk.Entry{Size: 100, TS: 2, Reason: chunk.ReasonFlush})
+	l1 := &chunk.Log{Thread: 1}
+	l1.Append(chunk.Entry{Size: 50, TS: 1, Reason: chunk.ReasonSyscall})
+	l1.Append(chunk.Entry{Size: 50, TS: 3, Reason: chunk.ReasonFlush})
+	in := &capo.InputLog{}
+	in.Append(capo.Record{Kind: capo.KindSyscall, Thread: 1, TS: 2})
+
+	r := Analyze([]*chunk.Log{l0, l1}, in)
+	if r.TotalInstructions != 300 || r.TotalChunks != 4 || r.TotalInputs != 1 {
+		t.Errorf("totals: %d instrs, %d chunks, %d inputs", r.TotalInstructions, r.TotalChunks, r.TotalInputs)
+	}
+	if r.Threads[0].Conflicts != 1 || r.Threads[1].Syscalls != 1 || r.Threads[1].InputRecords != 1 {
+		t.Errorf("per-thread stats: %+v", r.Threads)
+	}
+	if r.Threads[0].MeanChunk != 100 || r.Threads[1].MeanChunk != 50 {
+		t.Errorf("mean chunks: %v %v", r.Threads[0].MeanChunk, r.Threads[1].MeanChunk)
+	}
+	if r.Reasons.Get(int(chunk.ReasonFlush)) != 2 {
+		t.Error("reason counting wrong")
+	}
+	// Interleaved intervals overlap: concurrency above 1.
+	if r.Concurrency <= 1 {
+		t.Errorf("concurrency = %v, want > 1 for interleaved chunks", r.Concurrency)
+	}
+	// 5 items, 4 distinct timestamps (input shares ts=2 with a chunk).
+	if got := r.ReplaySerialization; got != 4.0/5.0 {
+		t.Errorf("serialization = %v, want 0.8", got)
+	}
+}
+
+func TestAnalyzeSerialThread(t *testing.T) {
+	l0 := &chunk.Log{Thread: 0}
+	l0.Append(chunk.Entry{Size: 10, TS: 0, Reason: chunk.ReasonFlush})
+	r := Analyze([]*chunk.Log{l0}, nil)
+	if r.Concurrency != 1 {
+		t.Errorf("single thread concurrency = %v, want 1", r.Concurrency)
+	}
+	if r.ReplaySerialization != 1 {
+		t.Errorf("serialization = %v, want 1", r.ReplaySerialization)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	r := Analyze(nil, nil)
+	if r.TotalChunks != 0 || r.Concurrency != 0 {
+		t.Errorf("empty report: %+v", r)
+	}
+}
+
+func TestAnalyzeRealRecordings(t *testing.T) {
+	// Parallel kernels should analyze as more concurrent than the
+	// serialized microbenchmark behaviour, and conflict-heavy kernels
+	// should show higher conflict density than no-sharing ones.
+	get := func(name string) *Report {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		cfg := machine.DefaultConfig()
+		cfg.Mode = machine.ModeFull
+		cfg.Threads = 4
+		cfg.Seed = 2
+		b, err := core.Record(spec.Build(4), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Analyze(b.ChunkLogs, b.InputLog)
+	}
+	private := get("private")
+	pingpong := get("pingpong")
+	if private.Concurrency < 2 {
+		t.Errorf("no-sharing kernel concurrency = %v, want >= 2 (threads run independently)", private.Concurrency)
+	}
+	var privDensity, pingDensity float64
+	for _, th := range private.Threads {
+		privDensity += th.ConflictsPerKinstr
+	}
+	for _, th := range pingpong.Threads {
+		pingDensity += th.ConflictsPerKinstr
+	}
+	if pingDensity < 4*privDensity {
+		t.Errorf("conflict density: pingpong %v should dwarf private %v", pingDensity, privDensity)
+	}
+}

@@ -1,0 +1,131 @@
+package cache
+
+import "repro/internal/mem"
+
+// BusStats counts bus transactions by type.
+type BusStats struct {
+	BusRd      uint64
+	BusRdX     uint64
+	BusUpgr    uint64
+	Writebacks uint64
+	// CacheToCache counts misses served by a peer's Modified line.
+	CacheToCache uint64
+}
+
+// supplyInfo describes how a miss was filled.
+type supplyInfo struct {
+	sharers   int  // peer caches still holding the line after the snoop
+	fromCache bool // data came from a peer's Modified copy
+}
+
+// Bus is the snooping interconnect: it broadcasts each transaction to
+// every cache except the requester (in deterministic core order), merges
+// their clock acknowledgements, and falls back to memory for data.
+type Bus struct {
+	mem    *mem.Memory
+	caches []*Cache
+	stats  BusStats
+}
+
+// NewBus returns a bus backed by the given memory.
+func NewBus(m *mem.Memory) *Bus { return &Bus{mem: m} }
+
+// Memory returns the backing memory (the architectural home of all data).
+func (b *Bus) Memory() *mem.Memory { return b.mem }
+
+// Stats returns a copy of the transaction counters.
+func (b *Bus) Stats() BusStats { return b.stats }
+
+func (b *Bus) attach(c *Cache) {
+	c.id = len(b.caches)
+	b.caches = append(b.caches, c)
+}
+
+// readLineFromMem loads a full line image from memory.
+func (b *Bus) readLineFromMem(line uint64) (data [WordsPerLine]uint64) {
+	base := line * LineSize
+	for i := 0; i < WordsPerLine; i++ {
+		data[i] = b.mem.Load(base + uint64(i)*8)
+	}
+	return data
+}
+
+// writeback stores a full line image to memory.
+func (b *Bus) writeback(line uint64, data *[WordsPerLine]uint64) {
+	b.stats.Writebacks++
+	base := line * LineSize
+	for i := 0; i < WordsPerLine; i++ {
+		b.mem.Store(base+uint64(i)*8, data[i])
+	}
+}
+
+// broadcast snoops all peers and returns merged results.
+func (b *Bus) broadcast(requester int, line uint64, exclusive bool) (sup supplyInfo, data [WordsPerLine]uint64, maxAck uint64) {
+	for _, c := range b.caches {
+		if c.id == requester {
+			continue
+		}
+		had, hadM, d, ack := c.snoop(line, exclusive)
+		if ack > maxAck {
+			maxAck = ack
+		}
+		if hadM {
+			sup.fromCache = true
+			data = d
+		}
+		if had && !exclusive {
+			sup.sharers++
+		}
+	}
+	return sup, data, maxAck
+}
+
+// busRd serves a read miss: returns the line data, how it was supplied,
+// and the maximum snoop-acknowledged clock.
+func (b *Bus) busRd(requester int, line uint64) ([WordsPerLine]uint64, supplyInfo, uint64) {
+	b.stats.BusRd++
+	sup, data, maxAck := b.broadcast(requester, line, false)
+	if sup.fromCache {
+		b.stats.CacheToCache++
+		return data, sup, maxAck
+	}
+	return b.readLineFromMem(line), sup, maxAck
+}
+
+// busRdX serves a write miss: invalidates all peers, returns the data.
+func (b *Bus) busRdX(requester int, line uint64) ([WordsPerLine]uint64, supplyInfo, uint64) {
+	b.stats.BusRdX++
+	sup, data, maxAck := b.broadcast(requester, line, true)
+	if sup.fromCache {
+		b.stats.CacheToCache++
+		return data, sup, maxAck
+	}
+	return b.readLineFromMem(line), sup, maxAck
+}
+
+// busUpgr invalidates peers' Shared copies so the requester can write its
+// already-resident line.
+func (b *Bus) busUpgr(requester int, line uint64) uint64 {
+	b.stats.BusUpgr++
+	_, _, maxAck := b.broadcast(requester, line, true)
+	return maxAck
+}
+
+// FlushAll writes back every cache's dirty lines (deterministic order) so
+// memory holds the complete architectural image.
+func (b *Bus) FlushAll() {
+	for _, c := range b.caches {
+		c.FlushAll()
+	}
+}
+
+// SnapshotMemory returns a copy of the architectural memory image —
+// backing memory overlaid with every cache's dirty lines — without
+// disturbing any cache state. Used for flight-recorder checkpoints.
+func (b *Bus) SnapshotMemory() *mem.Memory {
+	snap := b.mem.Snapshot()
+	for _, c := range b.caches {
+		c.WriteDirtyTo(snap)
+	}
+	return snap
+}

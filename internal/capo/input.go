@@ -1,0 +1,267 @@
+// Package capo models Capo3, the QuickRec software stack: a kernel-level
+// Replay Sphere Manager (RSM) that owns recording sessions, intercepts
+// every kernel crossing of recorded threads, logs all input
+// nondeterminism (syscall results, data copied into user memory, signal
+// delivery points), and drains per-thread log buffers (CBUFs) to a
+// user-space logging daemon.
+//
+// The kernel itself is simulated (syscall semantics, futexes, scheduling
+// hooks live here), but the recording logic is exactly what a real
+// driver would run; only the substrate differs.
+package capo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// RecordKind distinguishes input-log record types.
+type RecordKind uint8
+
+// Input-log record kinds.
+const (
+	// KindSyscall records one completed system call.
+	KindSyscall RecordKind = 1
+	// KindSignal records one asynchronous signal delivery point.
+	KindSignal RecordKind = 2
+)
+
+// Record is one input-log entry. Syscall records capture the result and
+// any data the kernel copied into user memory; signal records capture the
+// exact thread-local delivery position (retired instruction count plus
+// REP residue) so replay can re-deliver at the same instruction boundary.
+type Record struct {
+	Kind   RecordKind
+	Thread int
+	// Seq is the per-thread sequence number (starting at 0).
+	Seq int
+	// TS is the Lamport timestamp of the kernel's atomic access burst
+	// (the copy of results/data), serializing it against user chunks.
+	TS uint64
+
+	// Syscall fields.
+	Sysno uint64
+	Ret   uint64
+	Addr  uint64 // user address that received Data (0 if none)
+	Data  []byte // bytes copied to user memory
+
+	// Signal fields.
+	Signo   uint64
+	Retired uint64 // thread's retired-instruction count at delivery
+	RepDone uint64 // completed iterations of an in-flight REP at delivery
+}
+
+// String renders the record for diagnostics.
+func (r Record) String() string {
+	switch r.Kind {
+	case KindSyscall:
+		return fmt.Sprintf("sys{t%d #%d ts=%d no=%d ret=%d data=%dB}",
+			r.Thread, r.Seq, r.TS, r.Sysno, r.Ret, len(r.Data))
+	case KindSignal:
+		return fmt.Sprintf("sig{t%d #%d ts=%d signo=%d at=%d+%d}",
+			r.Thread, r.Seq, r.TS, r.Signo, r.Retired, r.RepDone)
+	}
+	return fmt.Sprintf("record{kind=%d}", r.Kind)
+}
+
+// EncodedSize returns the record's serialized size in bytes, used for
+// log-volume accounting (F4).
+func (r Record) EncodedSize() int {
+	return len(appendRecord(nil, r))
+}
+
+// InputLog is a recording session's complete input log. Records appear in
+// global append order; the per-thread subsequences are ordered by Seq and
+// by TS.
+type InputLog struct {
+	Records []Record
+}
+
+// Append adds a record.
+func (l *InputLog) Append(r Record) { l.Records = append(l.Records, r) }
+
+// Slice returns a new log holding the records from position pos on (the
+// flight-recorder tail). pos is clamped to the log length.
+func (l *InputLog) Slice(pos int) *InputLog {
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > len(l.Records) {
+		pos = len(l.Records)
+	}
+	return &InputLog{Records: append([]Record(nil), l.Records[pos:]...)}
+}
+
+// Len returns the number of records.
+func (l *InputLog) Len() int { return len(l.Records) }
+
+// PerThread returns thread tid's records in order.
+func (l *InputLog) PerThread(tid int) []Record {
+	var out []Record
+	for _, r := range l.Records {
+		if r.Thread == tid {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// DataBytes returns the total payload bytes copied to user memory.
+func (l *InputLog) DataBytes() int {
+	n := 0
+	for _, r := range l.Records {
+		n += len(r.Data)
+	}
+	return n
+}
+
+// EncodedSize returns the serialized size of the whole log in bytes.
+func (l *InputLog) EncodedSize() int { return len(l.Marshal()) }
+
+var inputMagic = [4]byte{'Q', 'R', 'I', 'L'}
+
+const inputVersion = 1
+
+// Marshal serializes the log with a versioned header.
+func (l *InputLog) Marshal() []byte {
+	out := make([]byte, 0, 64+len(l.Records)*24)
+	out = append(out, inputMagic[:]...)
+	out = append(out, inputVersion)
+	out = binary.AppendUvarint(out, uint64(len(l.Records)))
+	for _, r := range l.Records {
+		out = appendRecord(out, r)
+	}
+	return out
+}
+
+func appendRecord(dst []byte, r Record) []byte {
+	dst = append(dst, byte(r.Kind))
+	dst = binary.AppendUvarint(dst, uint64(r.Thread))
+	dst = binary.AppendUvarint(dst, uint64(r.Seq))
+	dst = binary.AppendUvarint(dst, r.TS)
+	switch r.Kind {
+	case KindSyscall:
+		dst = binary.AppendUvarint(dst, r.Sysno)
+		dst = binary.AppendUvarint(dst, r.Ret)
+		dst = binary.AppendUvarint(dst, r.Addr)
+		dst = binary.AppendUvarint(dst, uint64(len(r.Data)))
+		dst = append(dst, r.Data...)
+	case KindSignal:
+		dst = binary.AppendUvarint(dst, r.Signo)
+		dst = binary.AppendUvarint(dst, r.Retired)
+		dst = binary.AppendUvarint(dst, r.RepDone)
+	default:
+		panic(fmt.Sprintf("capo: marshalling record of unknown kind %d", r.Kind))
+	}
+	return dst
+}
+
+// ErrCorruptInput reports a malformed input log.
+var ErrCorruptInput = errors.New("capo: corrupt input log")
+
+type inputReader struct {
+	data []byte
+	pos  int
+}
+
+func (rd *inputReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(rd.data[rd.pos:])
+	if n <= 0 {
+		return 0, ErrCorruptInput
+	}
+	rd.pos += n
+	return v, nil
+}
+
+// UnmarshalInputLog parses a serialized input log.
+func UnmarshalInputLog(data []byte) (*InputLog, error) {
+	if len(data) < 5 || [4]byte(data[0:4]) != inputMagic {
+		return nil, fmt.Errorf("%w: bad header", ErrCorruptInput)
+	}
+	if data[4] != inputVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptInput, data[4])
+	}
+	rd := &inputReader{data: data, pos: 5}
+	count, err := rd.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Cap the pre-allocation: count is untrusted; remaining bytes bound
+	// the real record count.
+	capHint := count
+	if max := uint64(len(data) - rd.pos); capHint > max {
+		capHint = max
+	}
+	l := &InputLog{Records: make([]Record, 0, capHint)}
+	for i := uint64(0); i < count; i++ {
+		r, err := readRecord(rd)
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+		l.Records = append(l.Records, r)
+	}
+	if rd.pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptInput, len(data)-rd.pos)
+	}
+	return l, nil
+}
+
+func readRecord(rd *inputReader) (Record, error) {
+	var r Record
+	if rd.pos >= len(rd.data) {
+		return r, ErrCorruptInput
+	}
+	r.Kind = RecordKind(rd.data[rd.pos])
+	rd.pos++
+	thread, err := rd.uvarint()
+	if err != nil {
+		return r, err
+	}
+	seq, err := rd.uvarint()
+	if err != nil {
+		return r, err
+	}
+	ts, err := rd.uvarint()
+	if err != nil {
+		return r, err
+	}
+	r.Thread, r.Seq, r.TS = int(thread), int(seq), ts
+	switch r.Kind {
+	case KindSyscall:
+		if r.Sysno, err = rd.uvarint(); err != nil {
+			return r, err
+		}
+		if r.Ret, err = rd.uvarint(); err != nil {
+			return r, err
+		}
+		if r.Addr, err = rd.uvarint(); err != nil {
+			return r, err
+		}
+		n, err := rd.uvarint()
+		if err != nil {
+			return r, err
+		}
+		// Compare as uint64: a huge length must not overflow int.
+		if n > uint64(len(rd.data)-rd.pos) {
+			return r, ErrCorruptInput
+		}
+		if n > 0 {
+			r.Data = append([]byte(nil), rd.data[rd.pos:rd.pos+int(n)]...)
+			rd.pos += int(n)
+		}
+	case KindSignal:
+		if r.Signo, err = rd.uvarint(); err != nil {
+			return r, err
+		}
+		if r.Retired, err = rd.uvarint(); err != nil {
+			return r, err
+		}
+		if r.RepDone, err = rd.uvarint(); err != nil {
+			return r, err
+		}
+	default:
+		return r, fmt.Errorf("%w: unknown record kind %d", ErrCorruptInput, r.Kind)
+	}
+	return r, nil
+}

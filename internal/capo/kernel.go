@@ -1,0 +1,210 @@
+package capo
+
+import "fmt"
+
+// Syscall numbers.
+const (
+	// SysExit terminates the calling thread. No arguments.
+	SysExit uint64 = 1
+	// SysWrite (fd, addr, len) writes len bytes from user memory to fd.
+	// Returns len.
+	SysWrite uint64 = 2
+	// SysRead (fd, addr, len) copies len bytes of external input into
+	// user memory at addr. Returns len. The bytes come from the kernel's
+	// seeded input stream — the simulation's source of external
+	// nondeterminism.
+	SysRead uint64 = 3
+	// SysGetTime returns the current cycle count perturbed by kernel
+	// jitter (nondeterministic from the program's point of view).
+	SysGetTime uint64 = 4
+	// SysRandom returns 64 bits of kernel entropy.
+	SysRandom uint64 = 5
+	// SysYield relinquishes the core. Returns 0.
+	SysYield uint64 = 6
+	// SysFutexWait (addr, expected) blocks until woken if the word at
+	// addr equals expected; returns 0 when woken, FutexEAgain when the
+	// value differed.
+	SysFutexWait uint64 = 7
+	// SysFutexWake (addr, n) wakes up to n waiters on addr; returns the
+	// number woken.
+	SysFutexWake uint64 = 8
+	// SysGetTID returns the calling thread's ID.
+	SysGetTID uint64 = 9
+	// SysSigHandler (pc) registers the program's signal handler entry
+	// point (an instruction index). Returns 0.
+	SysSigHandler uint64 = 10
+	// SysSigReturn ends a signal handler, unmasking further signals for
+	// the calling thread. Returns 0. (The machine model performs the
+	// unmask; the kernel records the crossing.)
+	SysSigReturn uint64 = 12
+)
+
+// FutexEAgain is SysFutexWait's "value changed" result.
+const FutexEAgain uint64 = 11
+
+// CopyPort gives the kernel cache-coherent access to user memory on the
+// calling core, so kernel copies generate the same coherence traffic a
+// real kernel's would.
+type CopyPort interface {
+	Load(addr uint64) uint64
+	Store(addr uint64, val uint64)
+}
+
+// LoadBytes reads n bytes from user memory through the port (aligned base
+// address; the tail of the final word is truncated).
+func LoadBytes(port CopyPort, addr, n uint64) []byte {
+	out := make([]byte, 0, n)
+	for off := uint64(0); off < n; off += 8 {
+		w := port.Load(addr + off)
+		for b := uint64(0); b < 8 && off+b < n; b++ {
+			out = append(out, byte(w>>(8*b)))
+		}
+	}
+	return out
+}
+
+// StoreBytes writes p into user memory through the port, preserving
+// neighbouring bytes in partial final words.
+func StoreBytes(port CopyPort, addr uint64, p []byte) {
+	for off := 0; off < len(p); off += 8 {
+		wordAddr := addr + uint64(off)
+		w := port.Load(wordAddr)
+		for b := 0; b < 8 && off+b < len(p); b++ {
+			shift := uint(8 * b)
+			w &^= uint64(0xff) << shift
+			w |= uint64(p[off+b]) << shift
+		}
+		port.Store(wordAddr, w)
+	}
+}
+
+// Result describes a handled syscall to the machine model.
+type Result struct {
+	// Ret is the value placed in the result register on completion.
+	Ret uint64
+	// Block indicates the thread must sleep (futex wait); the syscall
+	// completes when the thread is woken.
+	Block bool
+	// Woken lists thread IDs made runnable by this call.
+	Woken []int
+	// Exit indicates the calling thread terminated.
+	Exit bool
+	// Reschedule hints that the caller yielded the core.
+	Reschedule bool
+	// CopyAddr/CopyData describe bytes the kernel copied into user
+	// memory (input nondeterminism the RSM must log).
+	CopyAddr uint64
+	CopyData []byte
+	// WordsTouched counts the 64-bit words the kernel moved across the
+	// user/kernel boundary, for perf accounting.
+	WordsTouched int
+}
+
+// Kernel is the simulated operating system: syscall semantics, futex
+// wait queues, the external-input entropy stream and captured program
+// output. One Kernel serves one machine; all methods are called from the
+// machine's single-threaded run loop.
+type Kernel struct {
+	entropy    uint64 // xorshift64 state: external-world nondeterminism
+	futex      map[uint64][]int
+	output     map[int][]byte
+	handlerPC  int
+	handlerSet bool
+}
+
+// NewKernel returns a kernel whose external inputs (read data, time
+// jitter, entropy) derive from seed.
+func NewKernel(seed uint64) *Kernel {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Kernel{
+		entropy: seed,
+		futex:   make(map[uint64][]int),
+		output:  make(map[int][]byte),
+	}
+}
+
+func (k *Kernel) rand() uint64 {
+	k.entropy ^= k.entropy << 13
+	k.entropy ^= k.entropy >> 7
+	k.entropy ^= k.entropy << 17
+	return k.entropy
+}
+
+// Handle executes one syscall for thread tid at cycle time now, touching
+// user memory through port. It does not schedule: blocking/waking is
+// reported in the Result for the machine to act on.
+func (k *Kernel) Handle(tid int, now uint64, sysno, a1, a2, a3 uint64, port CopyPort) Result {
+	switch sysno {
+	case SysExit:
+		return Result{Exit: true}
+	case SysWrite:
+		fd, addr, n := int(a1), a2, a3
+		data := LoadBytes(port, addr, n)
+		k.output[fd] = append(k.output[fd], data...)
+		return Result{Ret: n, WordsTouched: int((n + 7) / 8)}
+	case SysRead:
+		_, addr, n := a1, a2, a3
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(k.rand())
+		}
+		StoreBytes(port, addr, data)
+		return Result{Ret: n, CopyAddr: addr, CopyData: data, WordsTouched: int((n + 7) / 8)}
+	case SysGetTime:
+		return Result{Ret: now + k.rand()%8}
+	case SysRandom:
+		return Result{Ret: k.rand()}
+	case SysYield:
+		return Result{Reschedule: true}
+	case SysFutexWait:
+		addr, expected := a1, a2
+		cur := port.Load(addr)
+		if cur != expected {
+			return Result{Ret: FutexEAgain, WordsTouched: 1}
+		}
+		k.futex[addr] = append(k.futex[addr], tid)
+		return Result{Block: true, WordsTouched: 1}
+	case SysFutexWake:
+		addr, n := a1, int(a2)
+		q := k.futex[addr]
+		woken := n
+		if woken > len(q) {
+			woken = len(q)
+		}
+		res := Result{Ret: uint64(woken), Woken: append([]int(nil), q[:woken]...)}
+		if woken == len(q) {
+			delete(k.futex, addr)
+		} else {
+			k.futex[addr] = q[woken:]
+		}
+		return res
+	case SysGetTID:
+		return Result{Ret: uint64(tid)}
+	case SysSigHandler:
+		k.handlerPC = int(a1)
+		k.handlerSet = true
+		return Result{}
+	case SysSigReturn:
+		return Result{}
+	default:
+		panic(fmt.Sprintf("capo: unknown syscall %d from thread %d", sysno, tid))
+	}
+}
+
+// Output returns the bytes written to fd so far.
+func (k *Kernel) Output(fd int) []byte { return k.output[fd] }
+
+// HandlerPC returns the registered signal handler entry point.
+func (k *Kernel) HandlerPC() (pc int, ok bool) { return k.handlerPC, k.handlerSet }
+
+// Waiters returns the number of threads blocked on any futex, for
+// deadlock diagnostics.
+func (k *Kernel) Waiters() int {
+	n := 0
+	for _, q := range k.futex {
+		n += len(q)
+	}
+	return n
+}

@@ -1,0 +1,154 @@
+package capo
+
+import "repro/internal/chunk"
+
+// FlushKind says which per-thread buffer filled up.
+type FlushKind int
+
+// Flush kinds.
+const (
+	// FlushChunk drains a thread's chunk-log CBUF to the daemon.
+	FlushChunk FlushKind = iota
+	// FlushInput drains a thread's input-log CBUF to the daemon.
+	FlushInput
+)
+
+// SessionConfig sizes a recording session (a replay sphere).
+type SessionConfig struct {
+	// Threads is the number of recorded threads.
+	Threads int
+	// CbufBytes is the per-thread kernel log buffer size; filling one
+	// costs a flush to the user-space daemon.
+	CbufBytes int
+	// Encoding is the chunk-entry format used for CBUF fill accounting
+	// and final marshalling.
+	Encoding chunk.Encoding
+}
+
+// DefaultSessionConfig mirrors Capo3's smallish per-thread kernel
+// buffers.
+func DefaultSessionConfig(threads int) SessionConfig {
+	return SessionConfig{Threads: threads, CbufBytes: 16 << 10, Encoding: chunk.Delta{}}
+}
+
+// Session is one recording session: the RSM state for a replay sphere.
+// It owns the per-thread chunk logs, the input log, and the CBUF
+// occupancy accounting that drives flush costs.
+type Session struct {
+	cfg     SessionConfig
+	onFlush func(FlushKind)
+
+	chunkLogs []*chunk.Log
+	input     InputLog
+	seq       []int // per-thread input sequence numbers
+
+	chunkFill  []int
+	inputFill  []int
+	chunkPrev  []*chunk.Entry // previous entry per thread, for delta sizing
+	numFlushes [2]uint64
+	chunkBytes uint64
+	inputBytes uint64
+}
+
+// NewSession creates a session. onFlush (may be nil) fires whenever a
+// CBUF fills and is drained; the machine charges flush cycles there.
+func NewSession(cfg SessionConfig, onFlush func(FlushKind)) *Session {
+	if cfg.Threads <= 0 {
+		panic("capo: session needs at least one thread")
+	}
+	if cfg.CbufBytes <= 0 {
+		panic("capo: CbufBytes must be positive")
+	}
+	if cfg.Encoding == nil {
+		cfg.Encoding = chunk.Delta{}
+	}
+	s := &Session{
+		cfg:       cfg,
+		onFlush:   onFlush,
+		chunkLogs: make([]*chunk.Log, cfg.Threads),
+		seq:       make([]int, cfg.Threads),
+		chunkFill: make([]int, cfg.Threads),
+		inputFill: make([]int, cfg.Threads),
+		chunkPrev: make([]*chunk.Entry, cfg.Threads),
+	}
+	for i := range s.chunkLogs {
+		s.chunkLogs[i] = &chunk.Log{Thread: i}
+	}
+	return s
+}
+
+// ChunkSink returns the recorder sink for thread tid: it appends entries
+// to the thread's chunk log and models CBUF occupancy.
+func (s *Session) ChunkSink(tid int) func(chunk.Entry) {
+	return func(e chunk.Entry) {
+		log := s.chunkLogs[tid]
+		n := len(s.cfg.Encoding.Append(make([]byte, 0, 32), e, s.chunkPrev[tid]))
+		log.Append(e)
+		s.chunkPrev[tid] = &log.Entries[len(log.Entries)-1]
+		s.chunkBytes += uint64(n)
+		s.fill(&s.chunkFill[tid], n, FlushChunk)
+	}
+}
+
+func (s *Session) fill(cur *int, n int, kind FlushKind) {
+	*cur += n
+	if *cur >= s.cfg.CbufBytes {
+		*cur = 0
+		s.numFlushes[kind]++
+		if s.onFlush != nil {
+			s.onFlush(kind)
+		}
+	}
+}
+
+// NextSeq allocates the next input-record sequence number for tid.
+func (s *Session) NextSeq(tid int) int {
+	n := s.seq[tid]
+	s.seq[tid]++
+	return n
+}
+
+// RecordSyscall logs a completed system call.
+func (s *Session) RecordSyscall(tid int, ts, sysno, ret, addr uint64, data []byte) {
+	r := Record{
+		Kind: KindSyscall, Thread: tid, Seq: s.NextSeq(tid), TS: ts,
+		Sysno: sysno, Ret: ret, Addr: addr, Data: data,
+	}
+	s.input.Append(r)
+	n := r.EncodedSize()
+	s.inputBytes += uint64(n)
+	s.fill(&s.inputFill[tid], n, FlushInput)
+}
+
+// RecordSignal logs an asynchronous signal delivery.
+func (s *Session) RecordSignal(tid int, ts, signo, retired, repDone uint64) {
+	r := Record{
+		Kind: KindSignal, Thread: tid, Seq: s.NextSeq(tid), TS: ts,
+		Signo: signo, Retired: retired, RepDone: repDone,
+	}
+	s.input.Append(r)
+	n := r.EncodedSize()
+	s.inputBytes += uint64(n)
+	s.fill(&s.inputFill[tid], n, FlushInput)
+}
+
+// ChunkLog returns thread tid's chunk log.
+func (s *Session) ChunkLog(tid int) *chunk.Log { return s.chunkLogs[tid] }
+
+// ChunkLogs returns all per-thread chunk logs.
+func (s *Session) ChunkLogs() []*chunk.Log { return s.chunkLogs }
+
+// InputLog returns the session's input log.
+func (s *Session) InputLog() *InputLog { return &s.input }
+
+// Flushes returns how many CBUF drains occurred per kind.
+func (s *Session) Flushes(kind FlushKind) uint64 { return s.numFlushes[kind] }
+
+// ChunkBytes returns the encoded chunk-log volume so far.
+func (s *Session) ChunkBytes() uint64 { return s.chunkBytes }
+
+// InputBytes returns the encoded input-log volume so far.
+func (s *Session) InputBytes() uint64 { return s.inputBytes }
+
+// Config returns the session configuration.
+func (s *Session) Config() SessionConfig { return s.cfg }

@@ -1,0 +1,286 @@
+// Package chunk defines the memory-log entry produced by the QuickRec
+// recording hardware for each chunk — a group of consecutively retired
+// instructions from one thread — together with the on-disk encodings the
+// paper explores for log compression.
+//
+// A chunk entry carries everything replay needs to reproduce the recorded
+// interleaving: how many instructions the chunk retired (Size), its
+// position in the global serialization (TS, a Lamport timestamp), why the
+// hardware closed it (Reason), and, when the chunk boundary fell in the
+// middle of a REP string instruction, how many iterations of that
+// instruction had completed (RepResidue).
+package chunk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Reason codes why the hardware terminated a chunk.
+type Reason uint8
+
+// Termination reasons. The conflict reasons are named from the closing
+// (responding) core's perspective: ConflictRAW means a remote read hit
+// this core's write signature, i.e. this chunk's write is the source of a
+// read-after-write dependence.
+const (
+	ReasonNone        Reason = iota
+	ReasonConflictRAW        // remote read snoop hit local write signature
+	ReasonConflictWAR        // remote exclusive snoop hit local read signature
+	ReasonConflictWAW        // remote exclusive snoop hit local write signature
+	ReasonSigOverflow        // read or write signature reached its insert bound
+	ReasonEviction           // a signature-resident line left the cache
+	ReasonCTROverflow        // chunk instruction counter saturated
+	ReasonSyscall            // thread entered the kernel via syscall
+	ReasonTrap               // asynchronous signal delivered
+	ReasonSwitch             // thread descheduled from the core
+	ReasonFlush              // end of execution or explicit drain
+	ReasonCheckpoint         // flight-recorder checkpoint boundary
+
+	NumReasons
+)
+
+var reasonNames = [NumReasons]string{
+	ReasonNone: "none", ReasonConflictRAW: "raw", ReasonConflictWAR: "war",
+	ReasonConflictWAW: "waw", ReasonSigOverflow: "sig-overflow",
+	ReasonEviction: "eviction", ReasonCTROverflow: "ctr-overflow",
+	ReasonSyscall: "syscall", ReasonTrap: "signal", ReasonSwitch: "switch",
+	ReasonFlush: "flush", ReasonCheckpoint: "checkpoint",
+}
+
+// String returns the reason's short name.
+func (r Reason) String() string {
+	if int(r) < len(reasonNames) {
+		return reasonNames[r]
+	}
+	return fmt.Sprintf("reason(%d)", uint8(r))
+}
+
+// IsConflict reports whether the reason is an inter-thread data conflict.
+func (r Reason) IsConflict() bool {
+	return r == ReasonConflictRAW || r == ReasonConflictWAR || r == ReasonConflictWAW
+}
+
+// Entry is one chunk record.
+type Entry struct {
+	// Size is the number of instructions retired in the chunk.
+	Size uint64
+	// TS is the chunk's Lamport timestamp; replay executes chunks in
+	// (TS, thread) order.
+	TS uint64
+	// Reason is why the hardware closed the chunk.
+	Reason Reason
+	// RepResidue is the number of completed iterations of the in-flight
+	// REP string instruction at chunk close (0 when the boundary fell on
+	// a whole instruction). The count is absolute within the instruction,
+	// so consecutive chunks interrupting the same REP carry increasing
+	// residues.
+	RepResidue uint64
+}
+
+// String renders the entry for diagnostics.
+func (e Entry) String() string {
+	s := fmt.Sprintf("chunk{size=%d ts=%d %s", e.Size, e.TS, e.Reason)
+	if e.RepResidue != 0 {
+		s += fmt.Sprintf(" rep=%d", e.RepResidue)
+	}
+	return s + "}"
+}
+
+// Encoding is one serialization scheme for chunk entries. Encoders are
+// stateless; the previous entry in the same stream is passed explicitly
+// so delta schemes can compress against it.
+type Encoding interface {
+	// Name identifies the encoding in headers and reports.
+	Name() string
+	// ID is the byte stored in log headers.
+	ID() byte
+	// Append serializes e (following prev, nil for the first entry) onto
+	// dst and returns the extended slice.
+	Append(dst []byte, e Entry, prev *Entry) []byte
+	// Decode parses one entry from src (following prev), returning the
+	// entry and the number of bytes consumed.
+	Decode(src []byte, prev *Entry) (Entry, int, error)
+}
+
+// Encoding IDs.
+const (
+	FixedID byte = 1
+	VarID   byte = 2
+	DeltaID byte = 3
+)
+
+// ErrTruncated reports a log that ends mid-entry.
+var ErrTruncated = errors.New("chunk: truncated log")
+
+// ErrCorrupt reports a log that fails structural validation.
+var ErrCorrupt = errors.New("chunk: corrupt log")
+
+// ByID returns the encoding registered under id.
+func ByID(id byte) (Encoding, error) {
+	switch id {
+	case FixedID:
+		return Fixed{}, nil
+	case VarID:
+		return Var{}, nil
+	case DeltaID:
+		return Delta{}, nil
+	}
+	return nil, fmt.Errorf("%w: unknown encoding id %d", ErrCorrupt, id)
+}
+
+// Encodings returns all registered encodings, in ID order.
+func Encodings() []Encoding { return []Encoding{Fixed{}, Var{}, Delta{}} }
+
+// Fixed is the uncompressed hardware-native format: every entry occupies
+// exactly 16 bytes (48-bit size, 48-bit timestamp, 8-bit reason, 24-bit
+// REP residue, 8 reserved bits). This models the raw DMA format the
+// recording hardware writes before any software compression.
+type Fixed struct{}
+
+// Name implements Encoding.
+func (Fixed) Name() string { return "fixed16" }
+
+// ID implements Encoding.
+func (Fixed) ID() byte { return FixedID }
+
+const (
+	fixedEntrySize = 16
+	max48          = (1 << 48) - 1
+	max24          = (1 << 24) - 1
+)
+
+// Append implements Encoding.
+func (Fixed) Append(dst []byte, e Entry, _ *Entry) []byte {
+	if e.Size > max48 || e.TS > max48 {
+		panic(fmt.Sprintf("chunk: entry exceeds fixed-format field width: %v", e))
+	}
+	if e.RepResidue > max24 {
+		panic(fmt.Sprintf("chunk: REP residue %d exceeds 24-bit field", e.RepResidue))
+	}
+	var buf [fixedEntrySize]byte
+	binary.LittleEndian.PutUint64(buf[0:8], e.Size|uint64(e.Reason)<<48|(e.RepResidue&0xff)<<56)
+	binary.LittleEndian.PutUint64(buf[8:16], e.TS|(e.RepResidue>>8)<<48)
+	return append(dst, buf[:]...)
+}
+
+// Decode implements Encoding.
+func (Fixed) Decode(src []byte, _ *Entry) (Entry, int, error) {
+	if len(src) < fixedEntrySize {
+		return Entry{}, 0, ErrTruncated
+	}
+	lo := binary.LittleEndian.Uint64(src[0:8])
+	hi := binary.LittleEndian.Uint64(src[8:16])
+	e := Entry{
+		Size:       lo & max48,
+		Reason:     Reason(lo >> 48 & 0xff),
+		TS:         hi & max48,
+		RepResidue: (lo >> 56 & 0xff) | (hi>>48&0xffff)<<8,
+	}
+	if e.Reason >= NumReasons {
+		return Entry{}, 0, fmt.Errorf("%w: reason %d", ErrCorrupt, e.Reason)
+	}
+	return e, fixedEntrySize, nil
+}
+
+// Var encodes each field as a varint with a flag byte, shrinking small
+// chunks without exploiting inter-entry redundancy.
+type Var struct{}
+
+// Name implements Encoding.
+func (Var) Name() string { return "varint" }
+
+// ID implements Encoding.
+func (Var) ID() byte { return VarID }
+
+const repFlag = 0x80
+
+// Append implements Encoding.
+func (Var) Append(dst []byte, e Entry, _ *Entry) []byte {
+	flags := byte(e.Reason)
+	if e.RepResidue != 0 {
+		flags |= repFlag
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, e.Size)
+	dst = binary.AppendUvarint(dst, e.TS)
+	if e.RepResidue != 0 {
+		dst = binary.AppendUvarint(dst, e.RepResidue)
+	}
+	return dst
+}
+
+// Decode implements Encoding.
+func (Var) Decode(src []byte, _ *Entry) (Entry, int, error) {
+	if len(src) < 1 {
+		return Entry{}, 0, ErrTruncated
+	}
+	flags := src[0]
+	e := Entry{Reason: Reason(flags &^ repFlag)}
+	if e.Reason >= NumReasons {
+		return Entry{}, 0, fmt.Errorf("%w: reason %d", ErrCorrupt, e.Reason)
+	}
+	n := 1
+	var c int
+	if e.Size, c = binary.Uvarint(src[n:]); c <= 0 {
+		return Entry{}, 0, ErrTruncated
+	}
+	n += c
+	if e.TS, c = binary.Uvarint(src[n:]); c <= 0 {
+		return Entry{}, 0, ErrTruncated
+	}
+	n += c
+	if flags&repFlag != 0 {
+		if e.RepResidue, c = binary.Uvarint(src[n:]); c <= 0 {
+			return Entry{}, 0, ErrTruncated
+		}
+		n += c
+	}
+	return e, n, nil
+}
+
+// Delta is the paper-style compressed format: timestamps within a
+// per-thread stream are monotonically non-decreasing, so each entry
+// stores the delta from its predecessor, which is usually tiny.
+type Delta struct{}
+
+// Name implements Encoding.
+func (Delta) Name() string { return "ts-delta" }
+
+// ID implements Encoding.
+func (Delta) ID() byte { return DeltaID }
+
+// Append implements Encoding.
+func (Delta) Append(dst []byte, e Entry, prev *Entry) []byte {
+	var prevTS uint64
+	if prev != nil {
+		prevTS = prev.TS
+	}
+	if e.TS < prevTS {
+		panic(fmt.Sprintf("chunk: non-monotonic timestamp %d after %d in delta stream", e.TS, prevTS))
+	}
+	flags := byte(e.Reason)
+	if e.RepResidue != 0 {
+		flags |= repFlag
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, e.Size)
+	dst = binary.AppendUvarint(dst, e.TS-prevTS)
+	if e.RepResidue != 0 {
+		dst = binary.AppendUvarint(dst, e.RepResidue)
+	}
+	return dst
+}
+
+// Decode implements Encoding.
+func (Delta) Decode(src []byte, prev *Entry) (Entry, int, error) {
+	e, n, err := (Var{}).Decode(src, nil)
+	if err != nil {
+		return e, n, err
+	}
+	if prev != nil {
+		e.TS += prev.TS
+	}
+	return e, n, nil
+}

@@ -1,0 +1,129 @@
+package chunk
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Log is one thread's chunk stream plus aggregate accounting. Entries are
+// appended in program order; timestamps are monotonically increasing
+// within a log (guaranteed by the recorder's per-thread clock handling).
+type Log struct {
+	// Thread is the owning thread's ID.
+	Thread int
+	// Entries are the chunks in program order.
+	Entries []Entry
+}
+
+// Append adds one entry.
+func (l *Log) Append(e Entry) { l.Entries = append(l.Entries, e) }
+
+// Slice returns a new log holding the entries from position pos on (the
+// flight-recorder tail). pos is clamped to the log length.
+func (l *Log) Slice(pos int) *Log {
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > len(l.Entries) {
+		pos = len(l.Entries)
+	}
+	return &Log{Thread: l.Thread, Entries: append([]Entry(nil), l.Entries[pos:]...)}
+}
+
+// Len returns the number of chunks.
+func (l *Log) Len() int { return len(l.Entries) }
+
+// TotalInstructions sums the sizes of all chunks.
+func (l *Log) TotalInstructions() uint64 {
+	var n uint64
+	for _, e := range l.Entries {
+		n += e.Size
+	}
+	return n
+}
+
+// EncodedSize returns the serialized entry-stream size in bytes under
+// the given encoding (header excluded).
+func (l *Log) EncodedSize(enc Encoding) int {
+	total := 0
+	var prev *Entry
+	scratch := make([]byte, 0, 32)
+	for i := range l.Entries {
+		scratch = enc.Append(scratch[:0], l.Entries[i], prev)
+		total += len(scratch)
+		prev = &l.Entries[i]
+	}
+	return total
+}
+
+// logMagic guards serialized chunk logs.
+var logMagic = [4]byte{'Q', 'R', 'C', 'L'}
+
+const logVersion = 1
+
+// Marshal serializes the log with a versioned header under enc.
+// Layout: magic[4] version[1] encodingID[1] thread[uvarint]
+// count[uvarint] entries...
+func (l *Log) Marshal(enc Encoding) []byte {
+	out := make([]byte, 0, 16+len(l.Entries)*8)
+	out = append(out, logMagic[:]...)
+	out = append(out, logVersion, enc.ID())
+	out = binary.AppendUvarint(out, uint64(l.Thread))
+	out = binary.AppendUvarint(out, uint64(len(l.Entries)))
+	var prev *Entry
+	for i := range l.Entries {
+		out = enc.Append(out, l.Entries[i], prev)
+		prev = &l.Entries[i]
+	}
+	return out
+}
+
+// UnmarshalLog parses a serialized chunk log, inferring the encoding from
+// the header.
+func UnmarshalLog(data []byte) (*Log, error) {
+	if len(data) < 6 {
+		return nil, ErrTruncated
+	}
+	if [4]byte(data[0:4]) != logMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[4] != logVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, data[4])
+	}
+	enc, err := ByID(data[5])
+	if err != nil {
+		return nil, err
+	}
+	pos := 6
+	thread, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return nil, ErrTruncated
+	}
+	pos += n
+	count, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return nil, ErrTruncated
+	}
+	pos += n
+	// Cap the pre-allocation: count comes from untrusted input and the
+	// remaining bytes bound the real entry count anyway.
+	capHint := count
+	if max := uint64(len(data) - pos); capHint > max {
+		capHint = max
+	}
+	l := &Log{Thread: int(thread), Entries: make([]Entry, 0, capHint)}
+	var prev *Entry
+	for i := uint64(0); i < count; i++ {
+		e, n, err := enc.Decode(data[pos:], prev)
+		if err != nil {
+			return nil, fmt.Errorf("entry %d: %w", i, err)
+		}
+		pos += n
+		l.Entries = append(l.Entries, e)
+		prev = &l.Entries[len(l.Entries)-1]
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-pos)
+	}
+	return l, nil
+}

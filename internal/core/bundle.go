@@ -1,0 +1,299 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/capo"
+	"repro/internal/chunk"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// ErrCorruptBundle reports a malformed serialized bundle.
+var ErrCorruptBundle = errors.New("core: corrupt bundle")
+
+var bundleMagic = [4]byte{'Q', 'R', 'B', 'N'}
+
+const bundleVersion = 2
+
+// Marshal serializes the bundle (logs, metadata and reference state;
+// RecordStats is runtime-only and not serialized). Chunk logs are stored
+// in the paper-style timestamp-delta encoding.
+func (b *Bundle) Marshal() []byte {
+	out := make([]byte, 0, 4096)
+	out = append(out, bundleMagic[:]...)
+	out = append(out, bundleVersion)
+	var flags byte
+	if b.CountRepIterations {
+		flags |= 1
+	}
+	out = append(out, flags)
+	out = appendString(out, b.ProgramName)
+	out = binary.AppendUvarint(out, uint64(b.Threads))
+	out = binary.AppendUvarint(out, b.StackWordsPerThread)
+	out = binary.AppendUvarint(out, b.MemChecksum)
+	out = appendBytes(out, b.Output)
+	for _, r := range b.RetiredPerThread {
+		out = binary.AppendUvarint(out, r)
+	}
+	for _, ctx := range b.FinalContexts {
+		out = appendContext(out, ctx)
+	}
+	for _, l := range b.ChunkLogs {
+		out = appendBytes(out, l.Marshal(chunk.Delta{}))
+	}
+	out = appendBytes(out, b.InputLog.Marshal())
+	if b.Checkpoint == nil {
+		return append(out, 0)
+	}
+	out = append(out, 1)
+	return appendCheckpoint(out, b.Checkpoint)
+}
+
+func appendCheckpoint(out []byte, cs *CheckpointState) []byte {
+	size := cs.Mem.Size()
+	out = binary.AppendUvarint(out, size)
+	out = append(out, cs.Mem.LoadBytes(0, size)...)
+	for t := range cs.Contexts {
+		out = appendContext(out, cs.Contexts[t])
+		var flags byte
+		if cs.Exited[t] {
+			flags = 1
+		}
+		out = append(out, flags)
+		for _, r := range cs.SigRegs[t] {
+			out = binary.AppendUvarint(out, r)
+		}
+		out = binary.AppendUvarint(out, uint64(cs.SigPC[t]))
+	}
+	out = binary.AppendUvarint(out, uint64(cs.HandlerPC))
+	if cs.HandlerOK {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	return appendBytes(out, cs.OutputPrefix)
+}
+
+func appendString(dst []byte, s string) []byte { return appendBytes(dst, []byte(s)) }
+
+func appendBytes(dst, p []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(p)))
+	return append(dst, p...)
+}
+
+func appendContext(dst []byte, ctx isa.Context) []byte {
+	for _, r := range ctx.Regs {
+		dst = binary.AppendUvarint(dst, r)
+	}
+	dst = binary.AppendUvarint(dst, uint64(ctx.PC))
+	dst = binary.AppendUvarint(dst, ctx.Retired)
+	var flags byte
+	if ctx.Halted {
+		flags |= 1
+	}
+	if ctx.RepActive {
+		flags |= 2
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, ctx.RepDone)
+	return dst
+}
+
+type bundleReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *bundleReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, ErrCorruptBundle
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *bundleReader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Compare as uint64: a huge length must not overflow int.
+	if n > uint64(len(r.data)-r.pos) {
+		return nil, ErrCorruptBundle
+	}
+	out := append([]byte(nil), r.data[r.pos:r.pos+int(n)]...)
+	r.pos += int(n)
+	return out, nil
+}
+
+func (r *bundleReader) context() (isa.Context, error) {
+	var ctx isa.Context
+	for i := range ctx.Regs {
+		v, err := r.uvarint()
+		if err != nil {
+			return ctx, err
+		}
+		ctx.Regs[i] = v
+	}
+	pc, err := r.uvarint()
+	if err != nil {
+		return ctx, err
+	}
+	ctx.PC = int(pc)
+	if ctx.Retired, err = r.uvarint(); err != nil {
+		return ctx, err
+	}
+	if r.pos >= len(r.data) {
+		return ctx, ErrCorruptBundle
+	}
+	flags := r.data[r.pos]
+	r.pos++
+	ctx.Halted = flags&1 != 0
+	ctx.RepActive = flags&2 != 0
+	if ctx.RepDone, err = r.uvarint(); err != nil {
+		return ctx, err
+	}
+	return ctx, nil
+}
+
+// UnmarshalBundle parses a serialized bundle.
+func UnmarshalBundle(data []byte) (*Bundle, error) {
+	if len(data) < 5 || [4]byte(data[0:4]) != bundleMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorruptBundle)
+	}
+	if data[4] != bundleVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptBundle, data[4])
+	}
+	if len(data) < 6 {
+		return nil, ErrCorruptBundle
+	}
+	if data[5] > 1 {
+		return nil, fmt.Errorf("%w: unknown flags %#x", ErrCorruptBundle, data[5])
+	}
+	countReps := data[5]&1 != 0
+	r := &bundleReader{data: data, pos: 6}
+	name, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	threads, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if threads == 0 || threads > 1<<16 {
+		return nil, fmt.Errorf("%w: implausible thread count %d", ErrCorruptBundle, threads)
+	}
+	b := &Bundle{ProgramName: string(name), Threads: int(threads), CountRepIterations: countReps}
+	if b.StackWordsPerThread, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if b.MemChecksum, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if b.Output, err = r.bytes(); err != nil {
+		return nil, err
+	}
+	for t := 0; t < b.Threads; t++ {
+		v, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b.RetiredPerThread = append(b.RetiredPerThread, v)
+	}
+	for t := 0; t < b.Threads; t++ {
+		ctx, err := r.context()
+		if err != nil {
+			return nil, err
+		}
+		b.FinalContexts = append(b.FinalContexts, ctx)
+	}
+	for t := 0; t < b.Threads; t++ {
+		raw, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		l, err := chunk.UnmarshalLog(raw)
+		if err != nil {
+			return nil, fmt.Errorf("chunk log %d: %w", t, err)
+		}
+		b.ChunkLogs = append(b.ChunkLogs, l)
+	}
+	raw, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if b.InputLog, err = capo.UnmarshalInputLog(raw); err != nil {
+		return nil, err
+	}
+	if r.pos >= len(data) {
+		return nil, fmt.Errorf("%w: missing checkpoint flag", ErrCorruptBundle)
+	}
+	hasCkpt := data[r.pos]
+	r.pos++
+	if hasCkpt == 1 {
+		if b.Checkpoint, err = readCheckpoint(r, b.Threads); err != nil {
+			return nil, err
+		}
+	} else if hasCkpt != 0 {
+		return nil, fmt.Errorf("%w: bad checkpoint flag %d", ErrCorruptBundle, hasCkpt)
+	}
+	if r.pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptBundle, len(data)-r.pos)
+	}
+	return b, nil
+}
+
+func readCheckpoint(r *bundleReader, threads int) (*CheckpointState, error) {
+	size, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if size > 1<<32 || r.pos+int(size) > len(r.data) {
+		return nil, fmt.Errorf("%w: implausible checkpoint memory size %d", ErrCorruptBundle, size)
+	}
+	cs := &CheckpointState{Mem: mem.New(size)}
+	cs.Mem.StoreBytes(0, r.data[r.pos:r.pos+int(size)])
+	r.pos += int(size)
+	for t := 0; t < threads; t++ {
+		ctx, err := r.context()
+		if err != nil {
+			return nil, err
+		}
+		cs.Contexts = append(cs.Contexts, ctx)
+		if r.pos >= len(r.data) {
+			return nil, ErrCorruptBundle
+		}
+		cs.Exited = append(cs.Exited, r.data[r.pos]&1 != 0)
+		r.pos++
+		var regs [isa.NumRegs]uint64
+		for i := range regs {
+			if regs[i], err = r.uvarint(); err != nil {
+				return nil, err
+			}
+		}
+		cs.SigRegs = append(cs.SigRegs, regs)
+		pc, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		cs.SigPC = append(cs.SigPC, int(pc))
+	}
+	hpc, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	cs.HandlerPC = int(hpc)
+	if r.pos >= len(r.data) {
+		return nil, ErrCorruptBundle
+	}
+	cs.HandlerOK = r.data[r.pos] == 1
+	r.pos++
+	if cs.OutputPrefix, err = r.bytes(); err != nil {
+		return nil, err
+	}
+	return cs, nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/replay"
+)
+
+// CheckpointState is a flight-recorder checkpoint embedded in a bundle:
+// replay resumes from it with only the post-checkpoint log tail. This
+// implements the paper's "always-on RnR" direction — bounded logs via
+// periodic snapshots.
+type CheckpointState struct {
+	// Mem is the checkpointed architectural memory image.
+	Mem *mem.Memory
+	// Contexts, Exited, SigRegs, SigPC hold per-thread state.
+	Contexts []isa.Context
+	Exited   []bool
+	SigRegs  [][isa.NumRegs]uint64
+	SigPC    []int
+	// HandlerPC/HandlerOK carry the registered signal handler.
+	HandlerPC int
+	HandlerOK bool
+	// OutputPrefix is fd-1 output written before the checkpoint.
+	OutputPrefix []byte
+}
+
+// ErrNoCheckpoint reports a Tail request on a recording made without
+// checkpointing.
+var ErrNoCheckpoint = errors.New("core: recording has no checkpoint (set CheckpointEveryInstrs)")
+
+// Tail derives the flight-recorder bundle from a full recording made
+// with Config.CheckpointEveryInstrs: the last checkpoint plus only the
+// log entries after it. The tail replays to the same final state as the
+// full bundle and verifies against the same reference.
+func Tail(full *Bundle) (*Bundle, error) {
+	if full.RecordStats == nil || full.RecordStats.Checkpoint == nil {
+		return nil, ErrNoCheckpoint
+	}
+	ck := full.RecordStats.Checkpoint
+	tail := &Bundle{
+		ProgramName:         full.ProgramName,
+		Threads:             full.Threads,
+		StackWordsPerThread: full.StackWordsPerThread,
+		CountRepIterations:  full.CountRepIterations,
+		MemChecksum:         full.MemChecksum,
+		Output:              full.Output,
+		FinalContexts:       full.FinalContexts,
+		RetiredPerThread:    full.RetiredPerThread,
+		Checkpoint:          fromMachineCheckpoint(ck),
+	}
+	for t, l := range full.ChunkLogs {
+		pos := ck.ChunkPos[t]
+		tail.ChunkLogs = append(tail.ChunkLogs, l.Slice(pos))
+	}
+	tail.InputLog = full.InputLog.Slice(ck.InputPos)
+	return tail, nil
+}
+
+func fromMachineCheckpoint(ck *machine.Checkpoint) *CheckpointState {
+	cs := &CheckpointState{
+		Mem:          ck.Mem.Snapshot(),
+		HandlerPC:    ck.HandlerPC,
+		HandlerOK:    ck.HandlerOK,
+		OutputPrefix: append([]byte(nil), ck.Output...),
+	}
+	for _, th := range ck.Threads {
+		cs.Contexts = append(cs.Contexts, th.Ctx)
+		cs.Exited = append(cs.Exited, th.Exited)
+		cs.SigRegs = append(cs.SigRegs, th.SigRegs)
+		cs.SigPC = append(cs.SigPC, th.SigPC)
+	}
+	return cs
+}
+
+// startState converts the bundle's checkpoint for the replayer.
+func (cs *CheckpointState) startState() *replay.StartState {
+	return &replay.StartState{
+		Mem:          cs.Mem,
+		Contexts:     cs.Contexts,
+		Exited:       cs.Exited,
+		SigRegs:      cs.SigRegs,
+		SigPC:        cs.SigPC,
+		HandlerPC:    cs.HandlerPC,
+		HandlerOK:    cs.HandlerOK,
+		OutputPrefix: cs.OutputPrefix,
+	}
+}
+
+func (cs *CheckpointState) validate(threads int) error {
+	if cs.Mem == nil || len(cs.Contexts) != threads || len(cs.Exited) != threads ||
+		len(cs.SigRegs) != threads || len(cs.SigPC) != threads {
+		return fmt.Errorf("core: malformed checkpoint for %d threads", threads)
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+// Package core ties the QuickRec pieces into the system the paper
+// presents: record a multithreaded program's execution on the simulated
+// prototype (MRR hardware + Capo3 software stack), package the logs as a
+// replayable bundle, replay it deterministically, and verify that the
+// replayed execution reproduces the recorded one exactly.
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/capo"
+	"repro/internal/chunk"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/replay"
+)
+
+// Bundle is a complete recording: everything replay needs, plus the
+// reference final state used for verification.
+type Bundle struct {
+	// ProgramName names the recorded program; replay must be given the
+	// same binary (QuickRec logs inputs and races, not code).
+	ProgramName string
+	// Threads is the recorded thread count.
+	Threads int
+	// StackWordsPerThread reproduces the recorder's address-space layout.
+	StackWordsPerThread uint64
+	// ChunkLogs holds the per-thread memory-interleaving logs.
+	ChunkLogs []*chunk.Log
+	// InputLog holds all recorded input nondeterminism.
+	InputLog *capo.InputLog
+	// Checkpoint, when non-nil, marks this as a flight-recorder tail
+	// bundle: the logs cover only execution after the checkpoint and
+	// replay resumes from its state. Built with Tail.
+	Checkpoint *CheckpointState
+	// CountRepIterations records the hardware's counting convention
+	// (chunk sizes include REP iterations); the replayer must mirror it.
+	CountRepIterations bool
+
+	// Reference state captured at the end of the recorded run.
+	MemChecksum      uint64
+	Output           []byte
+	FinalContexts    []isa.Context
+	RetiredPerThread []uint64
+
+	// RecordStats carries the recording run's measurements (overheads,
+	// log volumes, chunk statistics). Not serialized.
+	RecordStats *machine.Result
+}
+
+// Record runs prog under cfg with recording enabled and returns the
+// bundle. If cfg.Mode is ModeOff it is promoted to ModeFull; callers that
+// want hardware-only accounting can pass ModeHardwareOnly explicitly
+// (logs are still complete).
+func Record(prog *isa.Program, cfg machine.Config) (*Bundle, error) {
+	if cfg.Mode == machine.ModeOff {
+		cfg.Mode = machine.ModeFull
+	}
+	m := machine.New(prog, cfg)
+	res, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: recording failed: %w", err)
+	}
+	if cfg.StackWordsPerThread == 0 {
+		cfg.StackWordsPerThread = machine.DefaultConfig().StackWordsPerThread
+	}
+	threads := len(res.RetiredPerThread)
+	return &Bundle{
+		ProgramName:         prog.Name,
+		Threads:             threads,
+		StackWordsPerThread: cfg.StackWordsPerThread,
+		CountRepIterations:  cfg.MRR.CountRepIterations,
+		ChunkLogs:           res.Session.ChunkLogs(),
+		InputLog:            res.Session.InputLog(),
+		MemChecksum:         res.MemChecksum,
+		Output:              res.Output,
+		FinalContexts:       res.FinalContexts,
+		RetiredPerThread:    res.RetiredPerThread,
+		RecordStats:         res,
+	}, nil
+}
+
+// Replay re-executes the bundle against prog and returns the replayed
+// state. It does not verify; use Verify or RecordAndVerify for that.
+func Replay(prog *isa.Program, b *Bundle) (*replay.Result, error) {
+	in, err := replayInput(prog, b)
+	if err != nil {
+		return nil, err
+	}
+	return replay.Run(in)
+}
+
+// replayInput builds the replayer's input from a bundle, wiring the
+// checkpoint start state and counting convention.
+func replayInput(prog *isa.Program, b *Bundle) (replay.Input, error) {
+	in := replay.Input{
+		Prog:                prog,
+		Threads:             b.Threads,
+		ChunkLogs:           b.ChunkLogs,
+		InputLog:            b.InputLog,
+		StackWordsPerThread: b.StackWordsPerThread,
+		CountRepIterations:  b.CountRepIterations,
+	}
+	if prog.Name != b.ProgramName {
+		return in, fmt.Errorf("core: bundle was recorded from %q, not %q", b.ProgramName, prog.Name)
+	}
+	if b.Checkpoint != nil {
+		if err := b.Checkpoint.validate(b.Threads); err != nil {
+			return in, err
+		}
+		in.Start = b.Checkpoint.startState()
+	}
+	return in, nil
+}
+
+// ReplayUntil replays the bundle up to "thread tid, retired-instruction
+// count n" and returns the paused machine state — the primitive behind
+// record-and-replay debugging. Works on full and flight-recorder tail
+// bundles (the breakpoint must not predate a tail's checkpoint).
+func ReplayUntil(prog *isa.Program, b *Bundle, tid int, n uint64) (*replay.PauseState, error) {
+	in, err := replayInput(prog, b)
+	if err != nil {
+		return nil, err
+	}
+	return replay.RunUntil(in, replay.Breakpoint{Thread: tid, Retired: n})
+}
+
+// Trace replays the bundle and captures thread tid's executed
+// instruction stream over the retired-count window (from, to].
+func Trace(prog *isa.Program, b *Bundle, tid int, from, to uint64) ([]replay.TraceEntry, error) {
+	in, err := replayInput(prog, b)
+	if err != nil {
+		return nil, err
+	}
+	return replay.Trace(in, tid, from, to)
+}
+
+// VerifyError describes a mismatch between the recorded and replayed
+// executions.
+type VerifyError struct {
+	Field  string
+	Detail string
+}
+
+// Error implements error.
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("core: replay verification failed: %s: %s", e.Field, e.Detail)
+}
+
+// Verify checks that the replayed execution reproduced the recording:
+// identical final memory image, program output, per-thread retired
+// counts, and per-thread architectural state.
+func Verify(b *Bundle, rr *replay.Result) error {
+	if rr.MemChecksum != b.MemChecksum {
+		return &VerifyError{"memory", fmt.Sprintf("checksum %#x != recorded %#x", rr.MemChecksum, b.MemChecksum)}
+	}
+	if !bytes.Equal(rr.Output, b.Output) {
+		return &VerifyError{"output", fmt.Sprintf("%d bytes != recorded %d bytes", len(rr.Output), len(b.Output))}
+	}
+	if len(rr.RetiredPerThread) != len(b.RetiredPerThread) {
+		return &VerifyError{"threads", fmt.Sprintf("%d != recorded %d", len(rr.RetiredPerThread), len(b.RetiredPerThread))}
+	}
+	for t := range b.RetiredPerThread {
+		if rr.RetiredPerThread[t] != b.RetiredPerThread[t] {
+			return &VerifyError{"retired", fmt.Sprintf("thread %d: %d != recorded %d",
+				t, rr.RetiredPerThread[t], b.RetiredPerThread[t])}
+		}
+	}
+	for t := range b.FinalContexts {
+		rec, rep := b.FinalContexts[t], rr.FinalContexts[t]
+		if rec.PC != rep.PC {
+			return &VerifyError{"context", fmt.Sprintf("thread %d PC %d != recorded %d", t, rep.PC, rec.PC)}
+		}
+		for r := 0; r < isa.NumRegs; r++ {
+			if rec.Regs[r] != rep.Regs[r] {
+				return &VerifyError{"context", fmt.Sprintf("thread %d r%d = %#x != recorded %#x",
+					t, r, rep.Regs[r], rec.Regs[r])}
+			}
+		}
+	}
+	return nil
+}
+
+// RecordAndVerify records prog, replays the bundle, and verifies the
+// round trip — the system's end-to-end contract.
+func RecordAndVerify(prog *isa.Program, cfg machine.Config) (*Bundle, *replay.Result, error) {
+	b, err := Record(prog, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rr, err := Replay(prog, b)
+	if err != nil {
+		return b, nil, err
+	}
+	if err := Verify(b, rr); err != nil {
+		return b, rr, err
+	}
+	return b, rr, nil
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// TestSuiteRoundTrips is the system's flagship test: every workload in
+// the evaluation suite records and replays to an identical final state at
+// every thread count the paper evaluates (1, 2, 4).
+func TestSuiteRoundTrips(t *testing.T) {
+	for _, spec := range workload.Suite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			for _, threads := range []int{1, 2, 4} {
+				prog := spec.Build(threads)
+				cfg := recordCfg(uint64(threads*7+1), func(c *machine.Config) {
+					c.Threads = threads
+				})
+				if _, _, err := RecordAndVerify(prog, cfg); err != nil {
+					t.Fatalf("threads=%d: %v", threads, err)
+				}
+			}
+		})
+	}
+}
+
+// TestSuiteRoundTripsUnderPreemption repeats the round trip with small
+// time slices so every workload also exercises context-switch chunking
+// and thread migration.
+func TestSuiteRoundTripsUnderPreemption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, spec := range workload.Suite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			prog := spec.Build(8)
+			cfg := recordCfg(77, func(c *machine.Config) {
+				c.Cores = 2
+				c.Threads = 8
+				c.TimeSliceInstrs = 500
+			})
+			if _, _, err := RecordAndVerify(prog, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSuiteRoundTripsManySeeds hammers the most conflict-prone kernels
+// across many schedules.
+func TestSuiteRoundTripsManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	names := []string{"radix", "barnes", "raytrace"}
+	for _, name := range names {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("workload %s missing", name)
+		}
+		for seed := uint64(1); seed <= 6; seed++ {
+			prog := spec.Build(4)
+			if _, _, err := RecordAndVerify(prog, recordCfg(seed, nil)); err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+		}
+	}
+}
+
+// TestKVServerRoundTripCarriesRequests pins the application scenario:
+// the entire external request stream lives in the input log, and replay
+// reproduces the service byte-for-byte.
+func TestKVServerRoundTrips(t *testing.T) {
+	spec, ok := workload.ByName("kvserver")
+	if !ok {
+		t.Fatal("kvserver missing from suite")
+	}
+	for _, seed := range []uint64{1, 2, 3} {
+		prog := spec.Build(4)
+		b, _, err := RecordAndVerify(prog, recordCfg(seed, nil))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// 120 requests x 24 bytes x 4 threads of external input data.
+		if got := b.InputLog.DataBytes(); got != 120*24*4 {
+			t.Errorf("seed %d: input data = %d bytes, want %d", seed, got, 120*24*4)
+		}
+	}
+}
+
+// TestByteShareRecordsConflicts pins the sub-word story: threads touch
+// disjoint bytes, but line-granularity conflict detection (correctly,
+// conservatively) orders them — and replay stays exact.
+func TestByteShareRecordsConflicts(t *testing.T) {
+	spec, ok := workload.ByName("byteshare")
+	if !ok {
+		t.Fatal("byteshare missing")
+	}
+	b, _, err := RecordAndVerify(spec.Build(4), recordCfg(5, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflicts := 0
+	for _, l := range b.ChunkLogs {
+		for _, e := range l.Entries {
+			if e.Reason.IsConflict() {
+				conflicts++
+			}
+		}
+	}
+	if conflicts == 0 {
+		t.Error("byte-disjoint sharing produced no line-level conflicts")
+	}
+}

@@ -1,0 +1,257 @@
+package isa
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Builder assembles a Program. Branch targets are label strings resolved
+// at Build time, so forward references are fine. Builder methods panic on
+// misuse (unknown label, duplicate label): programs are static artifacts
+// and assembly errors are programming errors.
+type Builder struct {
+	name    string
+	code    []Instr
+	labels  map[string]int
+	fixups  []fixup
+	symbols map[string]uint64
+}
+
+type fixup struct {
+	instr int
+	label string
+	// imm patches the immediate field instead of the branch target; used
+	// by LiLabel to materialise an instruction index as data.
+	imm bool
+}
+
+// NewBuilder returns an empty Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:    name,
+		labels:  make(map[string]int),
+		symbols: make(map[string]uint64),
+	}
+}
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("isa: duplicate label %q in %s", name, b.name))
+	}
+	b.labels[name] = len(b.code)
+}
+
+func (b *Builder) emit(in Instr) { b.code = append(b.code, in) }
+
+func (b *Builder) emitBranch(in Instr, label string) {
+	b.fixups = append(b.fixups, fixup{instr: len(b.code), label: label})
+	b.emit(in)
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.emit(Instr{Op: OpNop}) }
+
+// Halt emits a halt; the executing thread terminates.
+func (b *Builder) Halt() { b.emit(Instr{Op: OpHalt}) }
+
+// Li loads a 64-bit immediate: rd = imm.
+func (b *Builder) Li(rd Reg, imm int64) { b.emit(Instr{Op: OpLi, Rd: rd, Imm: imm}) }
+
+// Liu loads an unsigned 64-bit immediate (for addresses).
+func (b *Builder) Liu(rd Reg, imm uint64) { b.emit(Instr{Op: OpLi, Rd: rd, Imm: int64(imm)}) }
+
+// LiLabel loads the instruction index of a label (resolved at Build),
+// e.g. to register a signal handler entry point with the kernel.
+func (b *Builder) LiLabel(rd Reg, label string) {
+	b.fixups = append(b.fixups, fixup{instr: len(b.code), label: label, imm: true})
+	b.emit(Instr{Op: OpLi, Rd: rd})
+}
+
+// Mov copies a register: rd = rs.
+func (b *Builder) Mov(rd, rs Reg) { b.emit(Instr{Op: OpMov, Rd: rd, Rs1: rs}) }
+
+func (b *Builder) alu3(op Op, rd, rs1, rs2 Reg) { b.emit(Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+
+// Add emits rd = rs1 + rs2.
+func (b *Builder) Add(rd, rs1, rs2 Reg) { b.alu3(OpAdd, rd, rs1, rs2) }
+
+// Sub emits rd = rs1 - rs2.
+func (b *Builder) Sub(rd, rs1, rs2 Reg) { b.alu3(OpSub, rd, rs1, rs2) }
+
+// Mul emits rd = rs1 * rs2.
+func (b *Builder) Mul(rd, rs1, rs2 Reg) { b.alu3(OpMul, rd, rs1, rs2) }
+
+// Div emits rd = rs1 / rs2 (unsigned; division by zero yields all-ones).
+func (b *Builder) Div(rd, rs1, rs2 Reg) { b.alu3(OpDiv, rd, rs1, rs2) }
+
+// Rem emits rd = rs1 % rs2 (unsigned; modulo zero yields rs1).
+func (b *Builder) Rem(rd, rs1, rs2 Reg) { b.alu3(OpRem, rd, rs1, rs2) }
+
+// And emits rd = rs1 & rs2.
+func (b *Builder) And(rd, rs1, rs2 Reg) { b.alu3(OpAnd, rd, rs1, rs2) }
+
+// Or emits rd = rs1 | rs2.
+func (b *Builder) Or(rd, rs1, rs2 Reg) { b.alu3(OpOr, rd, rs1, rs2) }
+
+// Xor emits rd = rs1 ^ rs2.
+func (b *Builder) Xor(rd, rs1, rs2 Reg) { b.alu3(OpXor, rd, rs1, rs2) }
+
+// Shl emits rd = rs1 << (rs2 & 63).
+func (b *Builder) Shl(rd, rs1, rs2 Reg) { b.alu3(OpShl, rd, rs1, rs2) }
+
+// Shr emits rd = rs1 >> (rs2 & 63).
+func (b *Builder) Shr(rd, rs1, rs2 Reg) { b.alu3(OpShr, rd, rs1, rs2) }
+
+// Slt emits rd = (signed rs1 < signed rs2).
+func (b *Builder) Slt(rd, rs1, rs2 Reg) { b.alu3(OpSlt, rd, rs1, rs2) }
+
+// Sltu emits rd = (rs1 < rs2) unsigned.
+func (b *Builder) Sltu(rd, rs1, rs2 Reg) { b.alu3(OpSltu, rd, rs1, rs2) }
+
+func (b *Builder) aluImm(op Op, rd, rs1 Reg, imm int64) {
+	b.emit(Instr{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Addi emits rd = rs1 + imm.
+func (b *Builder) Addi(rd, rs1 Reg, imm int64) { b.aluImm(OpAddi, rd, rs1, imm) }
+
+// Muli emits rd = rs1 * imm.
+func (b *Builder) Muli(rd, rs1 Reg, imm int64) { b.aluImm(OpMuli, rd, rs1, imm) }
+
+// Andi emits rd = rs1 & imm.
+func (b *Builder) Andi(rd, rs1 Reg, imm int64) { b.aluImm(OpAndi, rd, rs1, imm) }
+
+// Ori emits rd = rs1 | imm.
+func (b *Builder) Ori(rd, rs1 Reg, imm int64) { b.aluImm(OpOri, rd, rs1, imm) }
+
+// Xori emits rd = rs1 ^ imm.
+func (b *Builder) Xori(rd, rs1 Reg, imm int64) { b.aluImm(OpXori, rd, rs1, imm) }
+
+// Shli emits rd = rs1 << imm.
+func (b *Builder) Shli(rd, rs1 Reg, imm int64) { b.aluImm(OpShli, rd, rs1, imm) }
+
+// Shri emits rd = rs1 >> imm.
+func (b *Builder) Shri(rd, rs1 Reg, imm int64) { b.aluImm(OpShri, rd, rs1, imm) }
+
+// Ld emits rd = mem[rs1 + off].
+func (b *Builder) Ld(rd, rs1 Reg, off int64) { b.emit(Instr{Op: OpLd, Rd: rd, Rs1: rs1, Imm: off}) }
+
+// St emits mem[rs1 + off] = rs2.
+func (b *Builder) St(rs1 Reg, off int64, rs2 Reg) {
+	b.emit(Instr{Op: OpSt, Rs1: rs1, Rs2: rs2, Imm: off})
+}
+
+// Lb emits rd = sign-extended byte at rs1 + off (any alignment).
+func (b *Builder) Lb(rd, rs1 Reg, off int64) { b.emit(Instr{Op: OpLb, Rd: rd, Rs1: rs1, Imm: off}) }
+
+// Lbu emits rd = zero-extended byte at rs1 + off.
+func (b *Builder) Lbu(rd, rs1 Reg, off int64) { b.emit(Instr{Op: OpLbu, Rd: rd, Rs1: rs1, Imm: off}) }
+
+// Sb emits low byte of rs2 -> byte at rs1 + off.
+func (b *Builder) Sb(rs1 Reg, off int64, rs2 Reg) {
+	b.emit(Instr{Op: OpSb, Rs1: rs1, Rs2: rs2, Imm: off})
+}
+
+func (b *Builder) branch(op Op, rs1, rs2 Reg, label string) {
+	b.emitBranch(Instr{Op: op, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Beq branches to label when rs1 == rs2.
+func (b *Builder) Beq(rs1, rs2 Reg, label string) { b.branch(OpBeq, rs1, rs2, label) }
+
+// Bne branches to label when rs1 != rs2.
+func (b *Builder) Bne(rs1, rs2 Reg, label string) { b.branch(OpBne, rs1, rs2, label) }
+
+// Blt branches to label when signed rs1 < signed rs2.
+func (b *Builder) Blt(rs1, rs2 Reg, label string) { b.branch(OpBlt, rs1, rs2, label) }
+
+// Bge branches to label when signed rs1 >= signed rs2.
+func (b *Builder) Bge(rs1, rs2 Reg, label string) { b.branch(OpBge, rs1, rs2, label) }
+
+// Bltu branches to label when rs1 < rs2 unsigned.
+func (b *Builder) Bltu(rs1, rs2 Reg, label string) { b.branch(OpBltu, rs1, rs2, label) }
+
+// Bgeu branches to label when rs1 >= rs2 unsigned.
+func (b *Builder) Bgeu(rs1, rs2 Reg, label string) { b.branch(OpBgeu, rs1, rs2, label) }
+
+// Jmp jumps unconditionally to label.
+func (b *Builder) Jmp(label string) { b.emitBranch(Instr{Op: OpJmp}, label) }
+
+// Jal jumps to label leaving the return PC in rd.
+func (b *Builder) Jal(rd Reg, label string) { b.emitBranch(Instr{Op: OpJal, Rd: rd}, label) }
+
+// Jr jumps to the instruction index held in rs1.
+func (b *Builder) Jr(rs1 Reg) { b.emit(Instr{Op: OpJr, Rs1: rs1}) }
+
+// Xchg emits an atomic exchange: rd = mem[rs1+off]; mem[rs1+off] = rs2.
+func (b *Builder) Xchg(rd, rs1 Reg, off int64, rs2 Reg) {
+	b.emit(Instr{Op: OpXchg, Rd: rd, Rs1: rs1, Rs2: rs2, Imm: off})
+}
+
+// Cas emits an atomic compare-and-swap:
+// rd = mem[rs1+off]; if rd == expect { mem[rs1+off] = new }.
+func (b *Builder) Cas(rd, rs1 Reg, off int64, expect, new Reg) {
+	b.emit(Instr{Op: OpCas, Rd: rd, Rs1: rs1, Rs2: expect, Rs3: new, Imm: off})
+}
+
+// Fadd emits an atomic fetch-and-add: rd = mem[rs1+off]; mem[rs1+off] += rs2.
+func (b *Builder) Fadd(rd, rs1 Reg, off int64, rs2 Reg) {
+	b.emit(Instr{Op: OpFadd, Rd: rd, Rs1: rs1, Rs2: rs2, Imm: off})
+}
+
+// RepMovs emits a REP word copy from [src] to [dst] for cnt iterations.
+// dst, src and cnt advance architecturally per iteration.
+func (b *Builder) RepMovs(dst, src, cnt Reg) {
+	b.emit(Instr{Op: OpRepMovs, Rs1: dst, Rs2: src, Rs3: cnt})
+}
+
+// RepStos emits a REP word fill of val into [dst] for cnt iterations.
+func (b *Builder) RepStos(dst, val, cnt Reg) {
+	b.emit(Instr{Op: OpRepStos, Rs1: dst, Rs2: val, Rs3: cnt})
+}
+
+// Syscall emits a trap to the kernel. Sysno in RRet, args in R11..R14,
+// result in RRet.
+func (b *Builder) Syscall() { b.emit(Instr{Op: OpSyscall}) }
+
+// Fence emits an ordering fence.
+func (b *Builder) Fence() { b.emit(Instr{Op: OpFence}) }
+
+// Build resolves labels and returns the program. memBytes and init
+// describe the data segment; threads is the default thread count.
+func (b *Builder) Build(memBytes uint64, threads int, init func(m *mem.Memory)) *Program {
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			panic(fmt.Sprintf("isa: undefined label %q in %s", f.label, b.name))
+		}
+		if f.imm {
+			b.code[f.instr].Imm = int64(target)
+		} else {
+			b.code[f.instr].Target = target
+		}
+	}
+	p := &Program{
+		Name:           b.name,
+		Code:           b.code,
+		Labels:         b.labels,
+		MemBytes:       memBytes,
+		Symbols:        b.symbols,
+		DefaultThreads: threads,
+	}
+	p.Init = func(m *mem.Memory) {
+		if init != nil {
+			init(m)
+		}
+	}
+	return p
+}
+
+// Symbols returns the builder's symbol table so program initializers can
+// publish data addresses.
+func (b *Builder) Symbols() map[string]uint64 { return b.symbols }
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.code) }

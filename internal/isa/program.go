@@ -1,0 +1,36 @@
+package isa
+
+import "repro/internal/mem"
+
+// Program is an immutable executable image: code, the memory footprint it
+// needs, and an initializer that lays out its data segment. Programs are
+// SPMD: every thread runs the same code from instruction 0 and finds its
+// thread ID in R1.
+type Program struct {
+	// Name identifies the program in logs and reports.
+	Name string
+	// Code is the instruction stream, indexed by PC.
+	Code []Instr
+	// Labels maps label names to instruction indices (for diagnostics).
+	Labels map[string]int
+	// MemBytes is the data-memory size the program needs.
+	MemBytes uint64
+	// Init lays out the data segment before any thread runs. It may use
+	// the memory's bump allocator and should record important addresses
+	// in Symbols for tests and verification.
+	Init func(m *mem.Memory)
+	// Symbols maps data-segment names to addresses, filled in by Init.
+	Symbols map[string]uint64
+	// DefaultThreads is the thread count the program was written for.
+	DefaultThreads int
+}
+
+// Symbol returns the address recorded for name, panicking if absent;
+// missing symbols are programming errors in the workload definition.
+func (p *Program) Symbol(name string) uint64 {
+	a, ok := p.Symbols[name]
+	if !ok {
+		panic("isa: unknown symbol " + name + " in program " + p.Name)
+	}
+	return a
+}

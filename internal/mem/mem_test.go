@@ -1,0 +1,173 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStore(t *testing.T) {
+	m := New(1024)
+	m.Store(0, 42)
+	m.Store(8, 0xdeadbeef)
+	m.Store(1016, ^uint64(0))
+	if got := m.Load(0); got != 42 {
+		t.Errorf("Load(0) = %d, want 42", got)
+	}
+	if got := m.Load(8); got != 0xdeadbeef {
+		t.Errorf("Load(8) = %#x, want 0xdeadbeef", got)
+	}
+	if got := m.Load(1016); got != ^uint64(0) {
+		t.Errorf("Load(1016) = %#x, want all-ones", got)
+	}
+	if got := m.Load(16); got != 0 {
+		t.Errorf("untouched word = %d, want 0", got)
+	}
+}
+
+func TestSizeRounding(t *testing.T) {
+	m := New(9)
+	if m.Size() != 16 {
+		t.Errorf("Size = %d, want 16 (rounded to words)", m.Size())
+	}
+}
+
+func TestUnalignedPanics(t *testing.T) {
+	m := New(64)
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned access did not panic")
+		}
+	}()
+	m.Load(3)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := New(64)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range access did not panic")
+		}
+	}()
+	m.Store(64, 1)
+}
+
+func TestValid(t *testing.T) {
+	m := New(64)
+	cases := []struct {
+		addr uint64
+		want bool
+	}{
+		{0, true}, {8, true}, {56, true}, {64, false}, {3, false}, {1 << 40, false},
+	}
+	for _, c := range cases {
+		if got := m.Valid(c.addr); got != c.want {
+			t.Errorf("Valid(%d) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	m := New(256)
+	data := []byte("hello, quickrec world! 0123456789")
+	m.StoreBytes(8, data)
+	got := m.LoadBytes(8, uint64(len(data)))
+	if !bytes.Equal(got, data) {
+		t.Errorf("round trip: got %q, want %q", got, data)
+	}
+}
+
+func TestStoreBytesPreservesNeighbours(t *testing.T) {
+	m := New(64)
+	m.Store(0, 0x1122334455667788)
+	m.StoreBytes(0, []byte{0xaa, 0xbb}) // overwrite low two bytes only
+	if got := m.Load(0); got != 0x112233445566bbaa {
+		t.Errorf("Load = %#x, want 0x112233445566bbaa", got)
+	}
+}
+
+func TestBytesProperty(t *testing.T) {
+	f := func(data []byte, offWords uint8) bool {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		m := New(2048)
+		addr := uint64(offWords%16) * WordSize
+		m.StoreBytes(addr, data)
+		return bytes.Equal(m.LoadBytes(addr, uint64(len(data))), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocSeparatesLines(t *testing.T) {
+	m := New(4096)
+	a := m.Alloc(1)
+	b := m.Alloc(1)
+	if a/64 == b/64 {
+		t.Errorf("allocations share a cache line: %#x %#x", a, b)
+	}
+	if a%64 != 0 || b%64 != 0 {
+		t.Errorf("allocations not line-aligned: %#x %#x", a, b)
+	}
+}
+
+func TestAllocWords(t *testing.T) {
+	m := New(4096)
+	a := m.AllocWords(8) // exactly one line
+	b := m.AllocWords(1)
+	if b-a != 64 {
+		t.Errorf("expected next line after 8-word alloc, got gap %d", b-a)
+	}
+}
+
+func TestAllocExhaustionPanics(t *testing.T) {
+	m := New(128)
+	defer func() {
+		if recover() == nil {
+			t.Error("alloc beyond size did not panic")
+		}
+	}()
+	m.Alloc(4096)
+}
+
+func TestChecksumDetectsChanges(t *testing.T) {
+	m := New(1024)
+	m.Store(64, 7)
+	c1 := m.Checksum()
+	m.Store(64, 8)
+	c2 := m.Checksum()
+	if c1 == c2 {
+		t.Error("checksum unchanged after store")
+	}
+	m.Store(64, 7)
+	if m.Checksum() != c1 {
+		t.Error("checksum not restored with contents")
+	}
+}
+
+func TestSnapshotAndEqual(t *testing.T) {
+	m := New(512)
+	m.Alloc(100)
+	m.Store(0, 1)
+	m.Store(128, 99)
+	snap := m.Snapshot()
+	if !m.Equal(snap) {
+		t.Fatal("snapshot differs from original")
+	}
+	if snap.Brk() != m.Brk() {
+		t.Errorf("snapshot brk = %d, want %d", snap.Brk(), m.Brk())
+	}
+	m.Store(0, 2)
+	if m.Equal(snap) {
+		t.Error("snapshot tracked mutation of original")
+	}
+	if snap.Load(0) != 1 {
+		t.Error("snapshot contents changed")
+	}
+	other := New(256)
+	if m.Equal(other) {
+		t.Error("memories of different sizes reported equal")
+	}
+}

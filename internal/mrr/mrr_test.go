@@ -1,0 +1,414 @@
+package mrr
+
+import (
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/signature"
+)
+
+func testConfig() Config {
+	return Config{
+		ReadSig:             signature.Config{Bits: 1024, Hashes: 2, MaxInserts: 16},
+		WriteSig:            signature.Config{Bits: 1024, Hashes: 2, MaxInserts: 16},
+		MaxChunkInstr:       100,
+		TerminateOnEviction: true,
+		TrackStats:          true,
+	}
+}
+
+func newRecorder(t *testing.T) (*Recorder, *[]chunk.Entry) {
+	t.Helper()
+	r := New(testConfig())
+	var out []chunk.Entry
+	r.SetSink(func(e chunk.Entry) { out = append(out, e) })
+	r.SetEnabled(true)
+	return r, &out
+}
+
+// retire simulates n retired instructions with no memory accesses.
+func retire(r *Recorder, n int) {
+	for i := 0; i < n; i++ {
+		r.OnRetire()
+	}
+}
+
+func TestCTROverflowTerminates(t *testing.T) {
+	r, out := newRecorder(t)
+	retire(r, 250)
+	if len(*out) != 2 {
+		t.Fatalf("%d chunks, want 2 (two CTR overflows at 100)", len(*out))
+	}
+	for i, e := range *out {
+		if e.Size != 100 || e.Reason != chunk.ReasonCTROverflow {
+			t.Errorf("chunk %d = %v, want size 100 ctr-overflow", i, e)
+		}
+	}
+	if (*out)[0].TS >= (*out)[1].TS {
+		t.Error("timestamps not strictly increasing")
+	}
+	if r.OpenChunkInstrs() != 50 {
+		t.Errorf("open chunk = %d instrs, want 50", r.OpenChunkInstrs())
+	}
+}
+
+func TestExternalTerminate(t *testing.T) {
+	r, out := newRecorder(t)
+	retire(r, 7)
+	r.Terminate(chunk.ReasonSyscall)
+	if len(*out) != 1 {
+		t.Fatalf("%d chunks, want 1", len(*out))
+	}
+	e := (*out)[0]
+	if e.Size != 7 || e.Reason != chunk.ReasonSyscall || e.RepResidue != 0 {
+		t.Errorf("entry = %v", e)
+	}
+}
+
+func TestEmptyChunkNotEmitted(t *testing.T) {
+	r, out := newRecorder(t)
+	r.Terminate(chunk.ReasonSyscall)
+	r.Terminate(chunk.ReasonSwitch)
+	if len(*out) != 0 {
+		t.Fatalf("empty terminations emitted %d chunks", len(*out))
+	}
+	retire(r, 1)
+	r.Terminate(chunk.ReasonFlush)
+	if len(*out) != 1 {
+		t.Fatalf("%d chunks, want 1", len(*out))
+	}
+}
+
+func TestSnoopConflictRAW(t *testing.T) {
+	r, out := newRecorder(t)
+	r.OnLocalAccess(5, true) // we wrote line 5
+	r.OnRetire()
+	ack := r.OnSnoop(5, false) // remote read of line 5 -> RAW, terminate
+	if len(*out) != 1 {
+		t.Fatalf("%d chunks, want 1", len(*out))
+	}
+	e := (*out)[0]
+	if e.Reason != chunk.ReasonConflictRAW {
+		t.Errorf("reason = %v, want raw", e.Reason)
+	}
+	// Ack carries the post-termination clock, strictly above the chunk TS.
+	if ack != e.TS+1 {
+		t.Errorf("ack = %d, want %d", ack, e.TS+1)
+	}
+}
+
+func TestSnoopConflictWARAndWAW(t *testing.T) {
+	r, out := newRecorder(t)
+	r.OnLocalAccess(3, false) // read line 3
+	r.OnRetire()
+	r.OnSnoop(3, true) // remote write -> WAR
+	r.OnLocalAccess(4, true)
+	r.OnRetire()
+	r.OnSnoop(4, true) // remote write over our write -> WAW
+	if len(*out) != 2 {
+		t.Fatalf("%d chunks, want 2", len(*out))
+	}
+	if (*out)[0].Reason != chunk.ReasonConflictWAR {
+		t.Errorf("chunk 0 reason = %v, want war", (*out)[0].Reason)
+	}
+	if (*out)[1].Reason != chunk.ReasonConflictWAW {
+		t.Errorf("chunk 1 reason = %v, want waw", (*out)[1].Reason)
+	}
+}
+
+func TestNonConflictingSnoopDoesNotTerminate(t *testing.T) {
+	r, out := newRecorder(t)
+	r.OnLocalAccess(1, false)
+	r.OnRetire()
+	r.OnSnoop(1, false) // read-read: no conflict
+	r.OnSnoop(2, true)  // untouched line: no conflict
+	if len(*out) != 0 {
+		t.Fatalf("non-conflicting snoops emitted %d chunks", len(*out))
+	}
+}
+
+func TestSigOverflowDeferredToRetire(t *testing.T) {
+	r, out := newRecorder(t)
+	// 16 distinct read lines saturate the signature mid-"instruction";
+	// termination must wait for the retire so the instruction's accesses
+	// stay in the closing chunk.
+	for i := uint64(0); i < 16; i++ {
+		r.OnLocalAccess(i, false)
+	}
+	if len(*out) != 0 {
+		t.Fatal("terminated before retire boundary")
+	}
+	r.OnRetire()
+	if len(*out) != 1 {
+		t.Fatalf("%d chunks, want 1", len(*out))
+	}
+	if e := (*out)[0]; e.Reason != chunk.ReasonSigOverflow || e.Size != 1 {
+		t.Errorf("entry = %v, want sig-overflow size 1", e)
+	}
+}
+
+func TestEvictionTermination(t *testing.T) {
+	r, out := newRecorder(t)
+	r.OnLocalAccess(9, true)
+	r.OnRetire()
+	r.OnEvict(9, true) // line in write signature leaves the cache
+	if len(*out) != 0 {
+		t.Fatal("eviction terminated mid-boundary; must defer")
+	}
+	r.OnRetire()
+	if len(*out) != 1 || (*out)[0].Reason != chunk.ReasonEviction {
+		t.Fatalf("chunks = %v, want one eviction", *out)
+	}
+}
+
+func TestEvictionOfUntrackedLineIgnored(t *testing.T) {
+	r, out := newRecorder(t)
+	r.OnLocalAccess(9, true)
+	r.OnRetire()
+	r.OnEvict(1234, false)
+	r.OnRetire()
+	if len(*out) != 0 {
+		t.Fatal("eviction of untracked line terminated the chunk")
+	}
+}
+
+func TestEvictionTerminationDisabled(t *testing.T) {
+	cfg := testConfig()
+	cfg.TerminateOnEviction = false
+	r := New(cfg)
+	var out []chunk.Entry
+	r.SetSink(func(e chunk.Entry) { out = append(out, e) })
+	r.SetEnabled(true)
+	r.OnLocalAccess(9, true)
+	r.OnRetire()
+	r.OnEvict(9, true)
+	r.OnRetire()
+	if len(out) != 0 {
+		t.Fatal("eviction terminated despite TerminateOnEviction=false")
+	}
+}
+
+func TestRepResidueCaptured(t *testing.T) {
+	r, out := newRecorder(t)
+	repDone := uint64(0)
+	repActive := false
+	r.SetResidueFunc(func() (bool, uint64) { return repActive, repDone })
+	retire(r, 3)
+	// Simulate 5 REP iterations, then a conflicting snoop mid-instruction.
+	repActive = true
+	for i := 0; i < 5; i++ {
+		repDone++
+		r.OnLocalAccess(uint64(100+i), true)
+		r.OnRepTick()
+	}
+	r.OnSnoop(100, false)
+	if len(*out) != 1 {
+		t.Fatalf("%d chunks, want 1", len(*out))
+	}
+	e := (*out)[0]
+	if e.Size != 3 || e.RepResidue != 5 || e.Reason != chunk.ReasonConflictRAW {
+		t.Errorf("entry = %v, want size 3 rep 5 raw", e)
+	}
+}
+
+func TestRepProgressAloneIsProgress(t *testing.T) {
+	r, out := newRecorder(t)
+	repDone := uint64(2)
+	r.SetResidueFunc(func() (bool, uint64) { return true, repDone })
+	r.OnLocalAccess(1, true)
+	r.OnRepTick()
+	r.OnLocalAccess(2, true)
+	r.OnRepTick()
+	r.Terminate(chunk.ReasonSwitch)
+	if len(*out) != 1 {
+		t.Fatalf("%d chunks, want 1 (REP-only chunk)", len(*out))
+	}
+	if e := (*out)[0]; e.Size != 0 || e.RepResidue != 2 {
+		t.Errorf("entry = %v, want size 0 rep 2", e)
+	}
+}
+
+func TestClockPropagation(t *testing.T) {
+	r, _ := newRecorder(t)
+	if r.Clock() != 0 {
+		t.Fatalf("initial clock = %d", r.Clock())
+	}
+	r.OnBusAck(50)
+	if r.Clock() != 50 {
+		t.Errorf("clock after ack = %d, want 50", r.Clock())
+	}
+	r.OnBusAck(10) // lower acks don't regress the clock
+	if r.Clock() != 50 {
+		t.Errorf("clock regressed to %d", r.Clock())
+	}
+	r.RaiseClock(75)
+	if r.Clock() != 75 {
+		t.Errorf("RaiseClock -> %d, want 75", r.Clock())
+	}
+	r.RaiseClock(5)
+	if r.Clock() != 75 {
+		t.Errorf("RaiseClock regressed to %d", r.Clock())
+	}
+}
+
+func TestChunkTSUsesClock(t *testing.T) {
+	r, out := newRecorder(t)
+	r.OnBusAck(41)
+	retire(r, 1)
+	r.Terminate(chunk.ReasonFlush)
+	if (*out)[0].TS != 41 {
+		t.Errorf("TS = %d, want 41", (*out)[0].TS)
+	}
+	if r.Clock() != 42 {
+		t.Errorf("clock after close = %d, want 42", r.Clock())
+	}
+}
+
+func TestStampInput(t *testing.T) {
+	r, _ := newRecorder(t)
+	r.OnBusAck(9)
+	ts := r.StampInput()
+	if ts != 9 {
+		t.Errorf("input ts = %d, want 9", ts)
+	}
+	if r.Clock() != 10 {
+		t.Errorf("clock after stamp = %d, want 10", r.Clock())
+	}
+}
+
+func TestDisabledRecorderEmitsNothing(t *testing.T) {
+	r := New(testConfig())
+	var out []chunk.Entry
+	r.SetSink(func(e chunk.Entry) { out = append(out, e) })
+	// Disabled: no inserts, no terminations, but clock still moves.
+	r.OnLocalAccess(1, true)
+	r.OnRetire()
+	r.Terminate(chunk.ReasonFlush)
+	if len(out) != 0 {
+		t.Fatal("disabled recorder emitted chunks")
+	}
+	if ack := r.OnSnoop(1, false); ack != 0 {
+		t.Errorf("ack = %d, want 0", ack)
+	}
+	r.OnBusAck(5)
+	if r.Clock() != 5 {
+		t.Error("clock must advance even when disabled")
+	}
+}
+
+func TestSinkSwitchBetweenThreads(t *testing.T) {
+	r, _ := newRecorder(t)
+	var logA, logB []chunk.Entry
+	r.SetSink(func(e chunk.Entry) { logA = append(logA, e) })
+	retire(r, 2)
+	r.Terminate(chunk.ReasonSwitch)
+	r.SetSink(func(e chunk.Entry) { logB = append(logB, e) })
+	retire(r, 3)
+	r.Terminate(chunk.ReasonSwitch)
+	if len(logA) != 1 || logA[0].Size != 2 {
+		t.Errorf("logA = %v", logA)
+	}
+	if len(logB) != 1 || logB[0].Size != 3 {
+		t.Errorf("logB = %v", logB)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	r, _ := newRecorder(t)
+	r.OnLocalAccess(1, true)
+	r.OnRetire()
+	r.OnSnoop(1, false) // RAW terminate
+	retire(r, 100)      // CTR overflow
+	s := r.Stats()
+	if s.Chunks != 2 {
+		t.Errorf("Chunks = %d, want 2", s.Chunks)
+	}
+	if s.Reasons.Get(int(chunk.ReasonConflictRAW)) != 1 {
+		t.Error("RAW not counted")
+	}
+	if s.Reasons.Get(int(chunk.ReasonCTROverflow)) != 1 {
+		t.Error("CTR overflow not counted")
+	}
+	if s.Snoops != 1 || s.SnoopHits != 1 {
+		t.Errorf("snoops = %d/%d, want 1/1", s.SnoopHits, s.Snoops)
+	}
+	if s.ChunkSizes.Count() != 2 {
+		t.Errorf("size samples = %d, want 2", s.ChunkSizes.Count())
+	}
+}
+
+func TestSigOccupancy(t *testing.T) {
+	r, _ := newRecorder(t)
+	read0, write0 := r.SigOccupancy()
+	if read0 != 0 || write0 != 0 {
+		t.Fatal("fresh recorder has non-empty signatures")
+	}
+	r.OnLocalAccess(1, false)
+	r.OnLocalAccess(2, true)
+	read1, write1 := r.SigOccupancy()
+	if read1 <= 0 || write1 <= 0 {
+		t.Error("occupancy did not grow after accesses")
+	}
+}
+
+func TestZeroMaxChunkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MaxChunkInstr=0 did not panic")
+		}
+	}()
+	New(Config{ReadSig: signature.DefaultConfig(), WriteSig: signature.DefaultConfig()})
+}
+
+func TestSignaturesClearedBetweenChunks(t *testing.T) {
+	r, out := newRecorder(t)
+	r.OnLocalAccess(5, true)
+	r.OnRetire()
+	r.Terminate(chunk.ReasonSyscall)
+	// After the boundary, a snoop on the old line must not conflict.
+	r.OnLocalAccess(6, false)
+	r.OnRetire()
+	r.OnSnoop(5, false)
+	if len(*out) != 1 {
+		t.Fatalf("stale signature caused a conflict: %v", *out)
+	}
+}
+
+func TestCountRepIterationsTicksCTR(t *testing.T) {
+	cfg := testConfig()
+	cfg.CountRepIterations = true
+	cfg.MaxChunkInstr = 10
+	r := New(cfg)
+	var out []chunk.Entry
+	r.SetSink(func(e chunk.Entry) { out = append(out, e) })
+	r.SetEnabled(true)
+	repDone := uint64(0)
+	r.SetResidueFunc(func() (bool, uint64) { return repDone > 0, repDone })
+	// 9 REP ticks + 1 more saturate the 10-unit CTR mid-instruction.
+	for i := 0; i < 10; i++ {
+		repDone++
+		r.OnRepTick()
+	}
+	if len(out) != 1 {
+		t.Fatalf("%d chunks, want 1 (CTR overflow on REP ticks)", len(out))
+	}
+	e := out[0]
+	if e.Reason != chunk.ReasonCTROverflow || e.Size != 10 || e.RepResidue != 10 {
+		t.Errorf("entry = %v, want size 10 ctr-overflow rep 10", e)
+	}
+}
+
+func TestArchitecturalCountingIgnoresTicks(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxChunkInstr = 10
+	r := New(cfg)
+	var out []chunk.Entry
+	r.SetSink(func(e chunk.Entry) { out = append(out, e) })
+	r.SetEnabled(true)
+	for i := 0; i < 50; i++ {
+		r.OnRepTick()
+	}
+	if len(out) != 0 {
+		t.Fatalf("architectural CTR terminated on REP ticks: %v", out)
+	}
+}

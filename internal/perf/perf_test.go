@@ -1,0 +1,66 @@
+package perf
+
+import "testing"
+
+func TestAccountingTotals(t *testing.T) {
+	var a Accounting
+	a.Add(CompInstr, 100)
+	a.Add(CompMem, 50)
+	a.Add(CompKernel, 25)
+	a.Add(CompRecDriver, 10)
+	a.Add(CompRecInputCopy, 5)
+	a.Add(CompRecHardware, 2)
+	if a.Total() != 192 {
+		t.Errorf("Total = %d, want 192", a.Total())
+	}
+	if a.RecordingTotal() != 17 {
+		t.Errorf("RecordingTotal = %d, want 17", a.RecordingTotal())
+	}
+	if a.SoftwareRecordingTotal() != 15 {
+		t.Errorf("SoftwareRecordingTotal = %d, want 15", a.SoftwareRecordingTotal())
+	}
+	if a.Get(CompMem) != 50 {
+		t.Errorf("Get(CompMem) = %d, want 50", a.Get(CompMem))
+	}
+	b := a.Breakdown()
+	if b[CompInstr] != 100 {
+		t.Errorf("Breakdown[CompInstr] = %d, want 100", b[CompInstr])
+	}
+}
+
+func TestComponentClassification(t *testing.T) {
+	recording := map[Component]bool{
+		CompInstr: false, CompMem: false, CompKernel: false,
+		CompRecDriver: true, CompRecInputCopy: true, CompRecCbufFlush: true,
+		CompRecSched: true, CompRecHardware: true,
+	}
+	for c, want := range recording {
+		if c.IsRecording() != want {
+			t.Errorf("%v.IsRecording() = %v, want %v", c, !want, want)
+		}
+	}
+}
+
+func TestComponentNames(t *testing.T) {
+	for c := Component(0); c < NumComponents; c++ {
+		if c.String() == "" || c.String() == "unknown" {
+			t.Errorf("component %d unnamed", c)
+		}
+	}
+	if Component(99).String() != "unknown" {
+		t.Error("out-of-range component should be 'unknown'")
+	}
+}
+
+func TestDefaultParamsSane(t *testing.T) {
+	p := DefaultParams()
+	if p.BaseCPI == 0 {
+		t.Error("BaseCPI must be positive")
+	}
+	if p.MissMemCost <= p.HitCost {
+		t.Error("memory miss must cost more than a hit")
+	}
+	if p.RecChunkWrite >= p.RecSyscallExtra {
+		t.Error("hardware chunk write must be far cheaper than driver crossings")
+	}
+}

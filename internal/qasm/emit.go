@@ -1,0 +1,335 @@
+package qasm
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// emit assembles one instruction statement onto the builder.
+func (p *parser) emit(b *isa.Builder, s stmt) error {
+	r := func(i int) (isa.Reg, error) { return p.reg(s.line, s.args[i]) }
+	im := func(i int) (int64, error) { return p.imm(s.line, s.args[i]) }
+	mref := func(i int) (isa.Reg, int64, error) { return p.memRef(s.line, s.args[i]) }
+
+	// Three-register ALU ops share a shape.
+	alu3 := map[string]func(rd, rs1, rs2 isa.Reg){
+		"add": b.Add, "sub": b.Sub, "mul": b.Mul, "div": b.Div, "rem": b.Rem,
+		"and": b.And, "or": b.Or, "xor": b.Xor, "shl": b.Shl, "shr": b.Shr,
+		"slt": b.Slt, "sltu": b.Sltu,
+	}
+	aluImm := map[string]func(rd, rs1 isa.Reg, imm int64){
+		"addi": b.Addi, "muli": b.Muli, "andi": b.Andi, "ori": b.Ori,
+		"xori": b.Xori, "shli": b.Shli, "shri": b.Shri,
+	}
+	branch := map[string]func(rs1, rs2 isa.Reg, label string){
+		"beq": b.Beq, "bne": b.Bne, "blt": b.Blt, "bge": b.Bge,
+		"bltu": b.Bltu, "bgeu": b.Bgeu,
+	}
+
+	switch {
+	case s.mnem == "nop":
+		b.Nop()
+	case s.mnem == "halt":
+		b.Halt()
+	case s.mnem == "syscall":
+		b.Syscall()
+	case s.mnem == "fence":
+		b.Fence()
+
+	case s.mnem == "li":
+		if err := p.want(s, 2); err != nil {
+			return err
+		}
+		rd, err := r(0)
+		if err != nil {
+			return err
+		}
+		v, err := im(1)
+		if err != nil {
+			return err
+		}
+		b.Li(rd, v)
+	case s.mnem == "mov":
+		if err := p.want(s, 2); err != nil {
+			return err
+		}
+		rd, err := r(0)
+		if err != nil {
+			return err
+		}
+		rs, err := r(1)
+		if err != nil {
+			return err
+		}
+		b.Mov(rd, rs)
+
+	case alu3[s.mnem] != nil:
+		if err := p.want(s, 3); err != nil {
+			return err
+		}
+		rd, err := r(0)
+		if err != nil {
+			return err
+		}
+		rs1, err := r(1)
+		if err != nil {
+			return err
+		}
+		rs2, err := r(2)
+		if err != nil {
+			return err
+		}
+		alu3[s.mnem](rd, rs1, rs2)
+
+	case aluImm[s.mnem] != nil:
+		if err := p.want(s, 3); err != nil {
+			return err
+		}
+		rd, err := r(0)
+		if err != nil {
+			return err
+		}
+		rs1, err := r(1)
+		if err != nil {
+			return err
+		}
+		v, err := im(2)
+		if err != nil {
+			return err
+		}
+		aluImm[s.mnem](rd, rs1, v)
+
+	case s.mnem == "lb" || s.mnem == "lbu":
+		if err := p.want(s, 2); err != nil {
+			return err
+		}
+		rd, err := r(0)
+		if err != nil {
+			return err
+		}
+		base, off, err := mref(1)
+		if err != nil {
+			return err
+		}
+		if s.mnem == "lb" {
+			b.Lb(rd, base, off)
+		} else {
+			b.Lbu(rd, base, off)
+		}
+	case s.mnem == "sb":
+		if err := p.want(s, 2); err != nil {
+			return err
+		}
+		base, off, err := mref(0)
+		if err != nil {
+			return err
+		}
+		rs, err := r(1)
+		if err != nil {
+			return err
+		}
+		b.Sb(base, off, rs)
+	case s.mnem == "ld":
+		if err := p.want(s, 2); err != nil {
+			return err
+		}
+		rd, err := r(0)
+		if err != nil {
+			return err
+		}
+		base, off, err := mref(1)
+		if err != nil {
+			return err
+		}
+		b.Ld(rd, base, off)
+	case s.mnem == "st":
+		if err := p.want(s, 2); err != nil {
+			return err
+		}
+		base, off, err := mref(0)
+		if err != nil {
+			return err
+		}
+		rs, err := r(1)
+		if err != nil {
+			return err
+		}
+		b.St(base, off, rs)
+
+	case branch[s.mnem] != nil:
+		if err := p.want(s, 3); err != nil {
+			return err
+		}
+		rs1, err := r(0)
+		if err != nil {
+			return err
+		}
+		rs2, err := r(1)
+		if err != nil {
+			return err
+		}
+		branch[s.mnem](rs1, rs2, s.args[2])
+	case s.mnem == "jmp":
+		if err := p.want(s, 1); err != nil {
+			return err
+		}
+		b.Jmp(s.args[0])
+	case s.mnem == "jal":
+		if err := p.want(s, 2); err != nil {
+			return err
+		}
+		rd, err := r(0)
+		if err != nil {
+			return err
+		}
+		b.Jal(rd, s.args[1])
+	case s.mnem == "jr":
+		if err := p.want(s, 1); err != nil {
+			return err
+		}
+		rs, err := r(0)
+		if err != nil {
+			return err
+		}
+		b.Jr(rs)
+	case s.mnem == "lilabel":
+		if err := p.want(s, 2); err != nil {
+			return err
+		}
+		rd, err := r(0)
+		if err != nil {
+			return err
+		}
+		b.LiLabel(rd, s.args[1])
+
+	case s.mnem == "xchg":
+		if err := p.want(s, 3); err != nil {
+			return err
+		}
+		rd, err := r(0)
+		if err != nil {
+			return err
+		}
+		base, off, err := mref(1)
+		if err != nil {
+			return err
+		}
+		rs2, err := r(2)
+		if err != nil {
+			return err
+		}
+		b.Xchg(rd, base, off, rs2)
+	case s.mnem == "cas":
+		if err := p.want(s, 4); err != nil {
+			return err
+		}
+		rd, err := r(0)
+		if err != nil {
+			return err
+		}
+		base, off, err := mref(1)
+		if err != nil {
+			return err
+		}
+		expect, err := r(2)
+		if err != nil {
+			return err
+		}
+		repl, err := r(3)
+		if err != nil {
+			return err
+		}
+		b.Cas(rd, base, off, expect, repl)
+	case s.mnem == "fadd":
+		if err := p.want(s, 3); err != nil {
+			return err
+		}
+		rd, err := r(0)
+		if err != nil {
+			return err
+		}
+		base, off, err := mref(1)
+		if err != nil {
+			return err
+		}
+		rs2, err := r(2)
+		if err != nil {
+			return err
+		}
+		b.Fadd(rd, base, off, rs2)
+
+	case s.mnem == "repmovs":
+		if err := p.want(s, 3); err != nil {
+			return err
+		}
+		dst, err := r(0)
+		if err != nil {
+			return err
+		}
+		src, err := r(1)
+		if err != nil {
+			return err
+		}
+		cnt, err := r(2)
+		if err != nil {
+			return err
+		}
+		b.RepMovs(dst, src, cnt)
+	case s.mnem == "repstos":
+		if err := p.want(s, 3); err != nil {
+			return err
+		}
+		dst, err := r(0)
+		if err != nil {
+			return err
+		}
+		val, err := r(1)
+		if err != nil {
+			return err
+		}
+		cnt, err := r(2)
+		if err != nil {
+			return err
+		}
+		b.RepStos(dst, val, cnt)
+
+	// Synchronization pseudo-instructions, expanding to the same idioms
+	// the built-in workloads use.
+	case s.mnem == "pbarrier":
+		if err := p.want(s, 1); err != nil {
+			return err
+		}
+		base, err := r(0)
+		if err != nil {
+			return err
+		}
+		p.pseudoSeq++
+		workload.EmitBarrier(b, fmt.Sprintf("qb%d", p.pseudoSeq), base)
+	case s.mnem == "plock":
+		if err := p.want(s, 1); err != nil {
+			return err
+		}
+		base, err := r(0)
+		if err != nil {
+			return err
+		}
+		p.pseudoSeq++
+		workload.EmitFutexLock(b, fmt.Sprintf("ql%d", p.pseudoSeq), base)
+	case s.mnem == "punlock":
+		if err := p.want(s, 1); err != nil {
+			return err
+		}
+		base, err := r(0)
+		if err != nil {
+			return err
+		}
+		p.pseudoSeq++
+		workload.EmitFutexUnlock(b, fmt.Sprintf("qu%d", p.pseudoSeq), base)
+
+	default:
+		return p.errf(s.line, "unknown mnemonic %q", s.mnem)
+	}
+	return nil
+}

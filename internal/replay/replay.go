@@ -1,0 +1,458 @@
+// Package replay consumes a QuickRec recording — per-thread chunk logs
+// plus the Capo3 input log — and re-executes the program deterministically.
+//
+// The replayer needs no coherence simulation: it executes work items
+// (user chunks and kernel input events) in the global serialization the
+// Lamport timestamps encode. Within a thread, items are already ordered;
+// across threads, the item with the smallest (TS, thread) executes next.
+// Every conflicting pair of items was given strictly ordered timestamps
+// by the recording hardware, so this schedule reproduces every load's
+// value — and therefore the entire execution — exactly.
+//
+// Replay validates as it goes: syscall numbers must match the input log,
+// signal delivery positions must match recorded instruction counts and
+// REP residues, and chunks must end at instruction (and REP-iteration)
+// boundaries exactly as recorded. Any mismatch is reported as a
+// *DivergenceError rather than silently producing a wrong execution.
+package replay
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/capo"
+	"repro/internal/chunk"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Input is everything replay needs, extracted from a recording bundle.
+type Input struct {
+	// Prog is the recorded program (code is not logged; RnR replays the
+	// same binary, as the paper's Capo3 does).
+	Prog *isa.Program
+	// Threads is the recorded thread count.
+	Threads int
+	// ChunkLogs holds thread t's chunk log at index t.
+	ChunkLogs []*chunk.Log
+	// InputLog holds all syscall/signal records.
+	InputLog *capo.InputLog
+	// StackWordsPerThread must match the recording machine's value so
+	// the address space lines up.
+	StackWordsPerThread uint64
+	// Start, when non-nil, resumes replay from a flight-recorder
+	// checkpoint instead of the program's initial state; ChunkLogs and
+	// InputLog must then hold only the post-checkpoint tail.
+	Start *StartState
+	// CountRepIterations matches the recorder's counting convention:
+	// chunk sizes include one unit per REP iteration in addition to each
+	// retired instruction (hardware performance-counter style). The
+	// replayer must mirror whichever convention the hardware used — the
+	// paper's instruction-counting lesson.
+	CountRepIterations bool
+}
+
+// StartState is a checkpoint the replayer can resume from: the
+// architectural memory image and per-thread state captured by the
+// recorder at a chunk boundary.
+type StartState struct {
+	// Mem is the checkpointed memory image (copied before use).
+	Mem *mem.Memory
+	// Contexts holds each thread's architectural state.
+	Contexts []isa.Context
+	// Exited marks threads that terminated before the checkpoint.
+	Exited []bool
+	// SigRegs/SigPC/SigMasked carry in-flight signal frames.
+	SigRegs [][isa.NumRegs]uint64
+	SigPC   []int
+	// HandlerPC/HandlerOK carry the registered signal handler (its
+	// registration record may predate the tail log).
+	HandlerPC int
+	HandlerOK bool
+	// OutputPrefix is everything written to fd 1 before the checkpoint,
+	// so the replayed output stream compares against the full recording.
+	OutputPrefix []byte
+}
+
+// Result summarises a completed replay.
+type Result struct {
+	// MemChecksum hashes the final memory image.
+	MemChecksum uint64
+	// Output is what the replayed program wrote to fd 1.
+	Output []byte
+	// FinalContexts holds each thread's architectural state at exit.
+	FinalContexts []isa.Context
+	// RetiredPerThread is each thread's retired instruction count.
+	RetiredPerThread []uint64
+	// Steps counts execution steps performed.
+	Steps uint64
+	// ChunksExecuted and InputsApplied count consumed log items.
+	ChunksExecuted uint64
+	InputsApplied  uint64
+	// FinalMem is the replayed memory image, for inspection (its
+	// checksum equals MemChecksum).
+	FinalMem *mem.Memory
+}
+
+// DivergenceError reports that the replayed execution departed from the
+// recording.
+type DivergenceError struct {
+	Thread int
+	Reason string
+}
+
+// Error implements error.
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("replay: divergence on thread %d: %s", e.Thread, e.Reason)
+}
+
+// itemKind tags a work item.
+type itemKind uint8
+
+const (
+	itemChunk itemKind = iota
+	itemInput
+)
+
+// item is one unit of ordered replay work.
+type item struct {
+	kind  itemKind
+	ts    uint64
+	entry chunk.Entry
+	rec   capo.Record
+}
+
+// flatPort executes replay accesses directly against memory.
+type flatPort struct{ m *mem.Memory }
+
+func (p flatPort) Load(addr uint64) uint64       { return p.m.Load(addr) }
+func (p flatPort) Store(addr uint64, val uint64) { p.m.Store(addr, val) }
+func (p flatPort) RMW(addr uint64, f func(uint64) uint64) uint64 {
+	old := p.m.Load(addr)
+	p.m.Store(addr, f(old))
+	return old
+}
+
+// threadState is one replayed thread.
+type threadState struct {
+	id       int
+	core     *isa.Core
+	items    []item
+	next     int
+	execBase uint64 // units at the last completed chunk boundary
+	// cumTicks counts REP iterations executed (used when the recorder
+	// counted hardware-style; units = retired + cumTicks).
+	cumTicks uint64
+	finalCtx isa.Context
+	exited   bool
+	// Signal frame, mirroring the kernel's: saved at signal delivery,
+	// restored at SysSigReturn.
+	sigRegs [isa.NumRegs]uint64
+	sigPC   int
+}
+
+type replayer struct {
+	in        Input
+	memory    *mem.Memory
+	threads   []*threadState
+	output    []byte
+	handlerPC int
+	handlerOK bool
+	res       Result
+	// bp, when set, pauses execution at a thread-local position (see
+	// RunUntil).
+	bp *Breakpoint
+	// stepHook, when set, observes every execution step (see Trace).
+	stepHook func(t *threadState, pcBefore int, kind isa.StepKind)
+}
+
+// Run replays the recording and returns the reconstructed execution
+// state, or a *DivergenceError if the logs and the program disagree.
+// Execution faults caused by corrupt logs (a restored context pointing
+// outside the program, an access outside memory) are contained and
+// returned as errors.
+func Run(in Input) (res *Result, err error) {
+	defer recoverFault(&err)
+	return runChecked(in)
+}
+
+// recoverFault converts simulated-machine panics (driven by corrupt or
+// hostile log data) into errors.
+func recoverFault(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("replay: execution fault (corrupt recording?): %v", r)
+	}
+}
+
+func runChecked(in Input) (*Result, error) {
+	if in.Threads <= 0 || len(in.ChunkLogs) != in.Threads {
+		return nil, fmt.Errorf("replay: inconsistent input: %d threads, %d chunk logs",
+			in.Threads, len(in.ChunkLogs))
+	}
+	if in.StackWordsPerThread == 0 {
+		in.StackWordsPerThread = 1024
+	}
+	if s := in.Start; s != nil {
+		if s.Mem == nil || len(s.Contexts) != in.Threads || len(s.Exited) != in.Threads {
+			return nil, fmt.Errorf("replay: inconsistent checkpoint: %d contexts, %d exit flags for %d threads",
+				len(s.Contexts), len(s.Exited), in.Threads)
+		}
+	}
+	r := &replayer{in: in}
+	r.setup()
+	if err := r.loop(); err != nil {
+		return nil, err
+	}
+	return r.finish()
+}
+
+// setup reproduces the recording machine's address-space layout exactly,
+// or restores a checkpoint when one is supplied.
+func (r *replayer) setup() {
+	if s := r.in.Start; s != nil {
+		r.memory = s.Mem.Snapshot()
+		r.handlerPC, r.handlerOK = s.HandlerPC, s.HandlerOK
+		r.output = append(r.output, s.OutputPrefix...)
+		for t := 0; t < r.in.Threads; t++ {
+			core := isa.NewCore(t, r.in.Prog, flatPort{r.memory})
+			core.RestoreContext(s.Contexts[t])
+			ts := &threadState{
+				id: t, core: core, items: buildItems(r.in, t),
+				execBase: s.Contexts[t].Retired,
+			}
+			if len(s.SigRegs) > t {
+				ts.sigRegs = s.SigRegs[t]
+				ts.sigPC = s.SigPC[t]
+			}
+			if s.Exited[t] {
+				ts.exited = true
+				ts.finalCtx = s.Contexts[t]
+			}
+			r.threads = append(r.threads, ts)
+		}
+		return
+	}
+	stackBytes := r.in.StackWordsPerThread * 8 * uint64(r.in.Threads)
+	r.memory = mem.New(r.in.Prog.MemBytes + stackBytes + 4096)
+	r.in.Prog.Init(r.memory)
+	r.memory.Reserve(r.in.Prog.MemBytes)
+	stackBase := make([]uint64, r.in.Threads)
+	for t := 0; t < r.in.Threads; t++ {
+		stackBase[t] = r.memory.Alloc(r.in.StackWordsPerThread * 8)
+	}
+	for t := 0; t < r.in.Threads; t++ {
+		core := isa.NewCore(t, r.in.Prog, flatPort{r.memory})
+		core.SetReg(isa.R1, uint64(t))
+		core.SetReg(isa.R2, uint64(r.in.Threads))
+		core.SetReg(isa.R29, stackBase[t])
+		ts := &threadState{id: t, core: core, items: buildItems(r.in, t)}
+		r.threads = append(r.threads, ts)
+	}
+}
+
+// buildItems merges thread t's chunk entries and input records into one
+// timestamp-ordered stream. Both sequences are already sorted (the
+// recorder's per-thread clock is strictly monotonic across emissions), so
+// this is a two-way merge; sort.SliceStable guards against malformed logs.
+func buildItems(in Input, t int) []item {
+	var items []item
+	for _, e := range in.ChunkLogs[t].Entries {
+		items = append(items, item{kind: itemChunk, ts: e.TS, entry: e})
+	}
+	for _, rec := range in.InputLog.PerThread(t) {
+		items = append(items, item{kind: itemInput, ts: rec.TS, rec: rec})
+	}
+	sort.SliceStable(items, func(i, j int) bool { return items[i].ts < items[j].ts })
+	return items
+}
+
+// loop executes items globally ordered by (TS, thread).
+func (r *replayer) loop() error {
+	for {
+		var pick *threadState
+		for _, t := range r.threads {
+			if t.next >= len(t.items) {
+				continue
+			}
+			if pick == nil || t.items[t.next].ts < pick.items[pick.next].ts {
+				pick = t
+			}
+		}
+		if pick == nil {
+			return nil // all streams exhausted
+		}
+		it := pick.items[pick.next]
+		pick.next++
+		var err error
+		switch it.kind {
+		case itemChunk:
+			err = r.runChunk(pick, it.entry)
+			r.res.ChunksExecuted++
+		case itemInput:
+			err = r.applyInput(pick, it.rec)
+			r.res.InputsApplied++
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func (r *replayer) diverge(t *threadState, format string, args ...any) error {
+	return &DivergenceError{Thread: t.id, Reason: fmt.Sprintf(format, args...)}
+}
+
+// units returns thread t's position in the recorder's counting
+// convention: retired instructions, plus REP iterations when the
+// hardware counted them.
+func (r *replayer) units(t *threadState) uint64 {
+	if r.in.CountRepIterations {
+		return t.core.Retired() + t.cumTicks
+	}
+	return t.core.Retired()
+}
+
+// runChunk executes exactly entry.Size counting units (plus REP
+// iterations up to the recorded residue) on thread t.
+func (r *replayer) runChunk(t *threadState, e chunk.Entry) error {
+	target := t.execBase + e.Size
+	for {
+		if err := r.checkBreakpoint(t); err != nil {
+			return err
+		}
+		pos := r.units(t)
+		_, repDone := t.core.RepInFlight()
+		if pos > target {
+			return r.diverge(t, "overshot chunk boundary: at %d, target %d", pos, target)
+		}
+		if pos == target {
+			if repDone == e.RepResidue {
+				break
+			}
+			if repDone > e.RepResidue {
+				return r.diverge(t, "REP residue overshoot: %d > %d", repDone, e.RepResidue)
+			}
+			if r.in.CountRepIterations {
+				return r.diverge(t, "REP residue mismatch at unit boundary: %d, recorded %d",
+					repDone, e.RepResidue)
+			}
+		}
+		pcBefore := t.core.PC()
+		kind := t.core.Step()
+		switch kind {
+		case isa.StepRepTick:
+			t.cumTicks++
+		case isa.StepSyscall:
+			return r.diverge(t, "unexpected syscall inside chunk (at %d, target %d)",
+				r.units(t), target)
+		case isa.StepHalted:
+			if r.units(t) != target {
+				return r.diverge(t, "halted mid-chunk: at %d, target %d", r.units(t), target)
+			}
+		}
+		if r.stepHook != nil {
+			r.stepHook(t, pcBefore, kind)
+		}
+		r.res.Steps++
+	}
+	t.execBase = target
+	return nil
+}
+
+// applyInput replays one kernel event: a syscall completion or a signal
+// delivery.
+func (r *replayer) applyInput(t *threadState, rec capo.Record) error {
+	switch rec.Kind {
+	case capo.KindSignal:
+		return r.applySignal(t, rec)
+	case capo.KindSyscall:
+		return r.applySyscall(t, rec)
+	}
+	return r.diverge(t, "unknown input record kind %d", rec.Kind)
+}
+
+func (r *replayer) applySignal(t *threadState, rec capo.Record) error {
+	if got := t.core.Retired(); got != rec.Retired {
+		return r.diverge(t, "signal position mismatch: retired %d, recorded %d", got, rec.Retired)
+	}
+	if _, repDone := t.core.RepInFlight(); repDone != rec.RepDone {
+		return r.diverge(t, "signal REP residue mismatch: %d, recorded %d", repDone, rec.RepDone)
+	}
+	if !r.handlerOK {
+		return r.diverge(t, "signal delivered but no handler registered during replay")
+	}
+	for reg := isa.Reg(0); reg < isa.NumRegs; reg++ {
+		t.sigRegs[reg] = t.core.Reg(reg)
+	}
+	t.sigPC = t.core.PC()
+	t.core.ClearRepState()
+	t.core.SetPC(r.handlerPC)
+	return nil
+}
+
+func (r *replayer) applySyscall(t *threadState, rec capo.Record) error {
+	// The thread must be exactly at a syscall instruction.
+	if !t.core.InSyscall() {
+		pcBefore := t.core.PC()
+		kind := t.core.Step()
+		if kind != isa.StepSyscall {
+			return r.diverge(t, "expected syscall trap for record %v, got step kind %d", rec, kind)
+		}
+		if r.stepHook != nil {
+			r.stepHook(t, pcBefore, kind)
+		}
+		r.res.Steps++
+	}
+	sysno, a1, a2, a3, _ := t.core.SyscallArgs()
+	if sysno != rec.Sysno {
+		return r.diverge(t, "syscall number mismatch: executing %d, recorded %d", sysno, rec.Sysno)
+	}
+	port := flatPort{r.memory}
+	switch sysno {
+	case capo.SysExit:
+		t.core.AbortSyscall()
+		t.finalCtx = t.core.SaveContext()
+		t.exited = true
+		return nil
+	case capo.SysRead:
+		capo.StoreBytes(port, rec.Addr, rec.Data)
+	case capo.SysWrite:
+		// Re-generate output from replayed memory: a strong end-to-end
+		// check, since any divergence in the buffer shows up against the
+		// recorded output.
+		if int(a1) == 1 {
+			r.output = append(r.output, capo.LoadBytes(port, a2, a3)...)
+		}
+	case capo.SysSigHandler:
+		r.handlerPC = int(a1)
+		r.handlerOK = true
+	}
+	t.core.CompleteSyscall(rec.Ret)
+	// The retire belongs to the next chunk's budget; execBase advances
+	// only at chunk completion.
+	if sysno == capo.SysSigReturn {
+		for reg := isa.Reg(1); reg < isa.NumRegs; reg++ {
+			t.core.SetReg(reg, t.sigRegs[reg])
+		}
+		t.core.SetPC(t.sigPC)
+	}
+	return r.checkBreakpoint(t)
+}
+
+// finish validates final thread states and assembles the result.
+func (r *replayer) finish() (*Result, error) {
+	for _, t := range r.threads {
+		if !t.exited {
+			if !t.core.Halted() {
+				return nil, r.diverge(t, "log exhausted but thread neither halted nor exited")
+			}
+			t.finalCtx = t.core.SaveContext()
+		}
+		r.res.FinalContexts = append(r.res.FinalContexts, t.finalCtx)
+		r.res.RetiredPerThread = append(r.res.RetiredPerThread, t.finalCtx.Retired)
+	}
+	r.res.MemChecksum = r.memory.Checksum()
+	r.res.Output = r.output
+	r.res.FinalMem = r.memory
+	return &r.res, nil
+}

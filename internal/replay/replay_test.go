@@ -1,0 +1,255 @@
+package replay
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/capo"
+	"repro/internal/chunk"
+	"repro/internal/isa"
+)
+
+// simpleProg: three instructions then a syscall then halt.
+func simpleProg() *isa.Program {
+	b := isa.NewBuilder("simple")
+	b.Li(isa.R3, 1)
+	b.Li(isa.R4, 2)
+	b.Add(isa.R5, isa.R3, isa.R4)
+	b.Li(isa.RRet, int64(capo.SysGetTID))
+	b.Syscall()
+	b.Halt()
+	return b.Build(64, 1, nil)
+}
+
+// logsFor builds a minimal consistent recording for simpleProg:
+// chunk(4 instrs, syscall) -> input record -> chunk(2 instrs, flush).
+func logsFor() ([]*chunk.Log, *capo.InputLog) {
+	cl := &chunk.Log{Thread: 0}
+	cl.Append(chunk.Entry{Size: 4, TS: 0, Reason: chunk.ReasonSyscall})
+	cl.Append(chunk.Entry{Size: 2, TS: 2, Reason: chunk.ReasonFlush})
+	il := &capo.InputLog{}
+	il.Append(capo.Record{Kind: capo.KindSyscall, Thread: 0, Seq: 0, TS: 1,
+		Sysno: capo.SysGetTID, Ret: 0})
+	return []*chunk.Log{cl}, il
+}
+
+func TestMinimalReplay(t *testing.T) {
+	logs, il := logsFor()
+	rr, err := Run(Input{Prog: simpleProg(), Threads: 1, ChunkLogs: logs, InputLog: il})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.ChunksExecuted != 2 || rr.InputsApplied != 1 {
+		t.Errorf("items: %d chunks, %d inputs", rr.ChunksExecuted, rr.InputsApplied)
+	}
+	if rr.RetiredPerThread[0] != 6 {
+		t.Errorf("retired = %d, want 6", rr.RetiredPerThread[0])
+	}
+	if rr.FinalContexts[0].Regs[isa.R5] != 3 {
+		t.Errorf("r5 = %d, want 3", rr.FinalContexts[0].Regs[isa.R5])
+	}
+	if rr.FinalMem == nil {
+		t.Error("FinalMem not exposed")
+	}
+}
+
+func TestInconsistentInputRejected(t *testing.T) {
+	logs, il := logsFor()
+	if _, err := Run(Input{Prog: simpleProg(), Threads: 2, ChunkLogs: logs, InputLog: il}); err == nil {
+		t.Error("thread-count mismatch accepted")
+	}
+	if _, err := Run(Input{Prog: simpleProg(), Threads: 0, ChunkLogs: nil, InputLog: il}); err == nil {
+		t.Error("zero threads accepted")
+	}
+}
+
+func TestDivergenceWrongSysno(t *testing.T) {
+	logs, il := logsFor()
+	il.Records[0].Sysno = capo.SysRandom // program executes SysGetTID
+	_, err := Run(Input{Prog: simpleProg(), Threads: 1, ChunkLogs: logs, InputLog: il})
+	var dv *DivergenceError
+	if !errors.As(err, &dv) {
+		t.Fatalf("want DivergenceError, got %v", err)
+	}
+	if !strings.Contains(dv.Error(), "syscall number mismatch") {
+		t.Errorf("unexpected reason: %v", dv)
+	}
+	if dv.Thread != 0 {
+		t.Errorf("divergence thread = %d", dv.Thread)
+	}
+}
+
+func TestDivergenceChunkTooLarge(t *testing.T) {
+	logs, il := logsFor()
+	// First chunk claims 5 instructions but the syscall traps after 4.
+	logs[0].Entries[0].Size = 5
+	_, err := Run(Input{Prog: simpleProg(), Threads: 1, ChunkLogs: logs, InputLog: il})
+	var dv *DivergenceError
+	if !errors.As(err, &dv) {
+		t.Fatalf("want DivergenceError, got %v", err)
+	}
+	if !strings.Contains(dv.Reason, "syscall inside chunk") {
+		t.Errorf("unexpected reason: %v", dv)
+	}
+}
+
+func TestDivergenceHaltMidChunk(t *testing.T) {
+	logs, il := logsFor()
+	logs[0].Entries[1].Size = 10 // program halts after 2 more
+	_, err := Run(Input{Prog: simpleProg(), Threads: 1, ChunkLogs: logs, InputLog: il})
+	var dv *DivergenceError
+	if !errors.As(err, &dv) {
+		t.Fatalf("want DivergenceError, got %v", err)
+	}
+	if !strings.Contains(dv.Reason, "halted mid-chunk") {
+		t.Errorf("unexpected reason: %v", dv)
+	}
+}
+
+func TestDivergenceLogExhaustedEarly(t *testing.T) {
+	logs, il := logsFor()
+	logs[0].Entries = logs[0].Entries[:1] // drop the final chunk
+	_, err := Run(Input{Prog: simpleProg(), Threads: 1, ChunkLogs: logs, InputLog: il})
+	var dv *DivergenceError
+	if !errors.As(err, &dv) {
+		t.Fatalf("want DivergenceError, got %v", err)
+	}
+	if !strings.Contains(dv.Reason, "neither halted nor exited") {
+		t.Errorf("unexpected reason: %v", dv)
+	}
+}
+
+func TestDivergenceMissingInputRecord(t *testing.T) {
+	logs, _ := logsFor()
+	_, err := Run(Input{Prog: simpleProg(), Threads: 1, ChunkLogs: logs, InputLog: &capo.InputLog{}})
+	var dv *DivergenceError
+	if !errors.As(err, &dv) {
+		t.Fatalf("want DivergenceError, got %v", err)
+	}
+}
+
+func TestDivergenceSignalWithoutHandler(t *testing.T) {
+	cl := &chunk.Log{Thread: 0}
+	cl.Append(chunk.Entry{Size: 2, TS: 0, Reason: chunk.ReasonTrap})
+	il := &capo.InputLog{}
+	il.Append(capo.Record{Kind: capo.KindSignal, Thread: 0, Seq: 0, TS: 1,
+		Signo: 1, Retired: 2})
+	_, err := Run(Input{Prog: simpleProg(), Threads: 1,
+		ChunkLogs: []*chunk.Log{cl}, InputLog: il})
+	var dv *DivergenceError
+	if !errors.As(err, &dv) {
+		t.Fatalf("want DivergenceError, got %v", err)
+	}
+	if !strings.Contains(dv.Reason, "no handler") {
+		t.Errorf("unexpected reason: %v", dv)
+	}
+}
+
+func TestDivergenceSignalPositionMismatch(t *testing.T) {
+	cl := &chunk.Log{Thread: 0}
+	cl.Append(chunk.Entry{Size: 2, TS: 0, Reason: chunk.ReasonTrap})
+	il := &capo.InputLog{}
+	il.Append(capo.Record{Kind: capo.KindSignal, Thread: 0, Seq: 0, TS: 1,
+		Signo: 1, Retired: 99}) // recorded position doesn't match
+	_, err := Run(Input{Prog: simpleProg(), Threads: 1,
+		ChunkLogs: []*chunk.Log{cl}, InputLog: il})
+	var dv *DivergenceError
+	if !errors.As(err, &dv) {
+		t.Fatalf("want DivergenceError, got %v", err)
+	}
+	if !strings.Contains(dv.Reason, "signal position mismatch") {
+		t.Errorf("unexpected reason: %v", dv)
+	}
+}
+
+func TestUnknownRecordKindDiverges(t *testing.T) {
+	cl := &chunk.Log{Thread: 0}
+	cl.Append(chunk.Entry{Size: 4, TS: 0, Reason: chunk.ReasonSyscall})
+	il := &capo.InputLog{}
+	il.Append(capo.Record{Kind: capo.RecordKind(99), Thread: 0, TS: 1})
+	_, err := Run(Input{Prog: simpleProg(), Threads: 1,
+		ChunkLogs: []*chunk.Log{cl}, InputLog: il})
+	var dv *DivergenceError
+	if !errors.As(err, &dv) {
+		t.Fatalf("want DivergenceError, got %v", err)
+	}
+}
+
+func TestReadInjectsLoggedData(t *testing.T) {
+	b := isa.NewBuilder("reader")
+	b.Li(isa.RRet, int64(capo.SysRead))
+	b.Li(isa.R11, 0)
+	b.Li(isa.R12, 64) // buffer address
+	b.Li(isa.R13, 8)
+	b.Syscall()
+	b.Ld(isa.R3, isa.R0, 64)
+	b.Halt()
+	prog := b.Build(256, 1, nil)
+
+	cl := &chunk.Log{Thread: 0}
+	cl.Append(chunk.Entry{Size: 4, TS: 0, Reason: chunk.ReasonSyscall})
+	cl.Append(chunk.Entry{Size: 3, TS: 2, Reason: chunk.ReasonFlush})
+	il := &capo.InputLog{}
+	il.Append(capo.Record{Kind: capo.KindSyscall, Thread: 0, Seq: 0, TS: 1,
+		Sysno: capo.SysRead, Ret: 8, Addr: 64,
+		Data: []byte{0xEF, 0xBE, 0xAD, 0xDE, 0, 0, 0, 0}})
+	rr, err := Run(Input{Prog: prog, Threads: 1, ChunkLogs: []*chunk.Log{cl}, InputLog: il})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rr.FinalContexts[0].Regs[isa.R3]; got != 0xDEADBEEF {
+		t.Errorf("loaded %#x, want 0xDEADBEEF (logged data not injected)", got)
+	}
+}
+
+func TestWriteRegeneratesOutput(t *testing.T) {
+	b := isa.NewBuilder("writer")
+	b.Li(isa.R3, 0x6f6c6c65) // "ello" + low byte 'h' below
+	b.Muli(isa.R3, isa.R3, 256)
+	b.Addi(isa.R3, isa.R3, 'h')
+	b.St(isa.R0, 64, isa.R3)
+	b.Li(isa.RRet, int64(capo.SysWrite))
+	b.Li(isa.R11, 1)
+	b.Li(isa.R12, 64)
+	b.Li(isa.R13, 5)
+	b.Syscall()
+	b.Halt()
+	prog := b.Build(256, 1, nil)
+
+	cl := &chunk.Log{Thread: 0}
+	cl.Append(chunk.Entry{Size: 8, TS: 0, Reason: chunk.ReasonSyscall})
+	cl.Append(chunk.Entry{Size: 2, TS: 2, Reason: chunk.ReasonFlush})
+	il := &capo.InputLog{}
+	il.Append(capo.Record{Kind: capo.KindSyscall, Thread: 0, Seq: 0, TS: 1,
+		Sysno: capo.SysWrite, Ret: 5})
+	rr, err := Run(Input{Prog: prog, Threads: 1, ChunkLogs: []*chunk.Log{cl}, InputLog: il})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rr.Output) != "hello" {
+		t.Errorf("output = %q, want hello", rr.Output)
+	}
+}
+
+func TestItemMergeOrdersByTimestamp(t *testing.T) {
+	in := Input{InputLog: &capo.InputLog{}}
+	in.ChunkLogs = []*chunk.Log{{Thread: 0}}
+	in.ChunkLogs[0].Append(chunk.Entry{Size: 1, TS: 0, Reason: chunk.ReasonSyscall})
+	in.ChunkLogs[0].Append(chunk.Entry{Size: 1, TS: 4, Reason: chunk.ReasonFlush})
+	in.InputLog.Append(capo.Record{Kind: capo.KindSyscall, Thread: 0, TS: 2})
+	items := buildItems(in, 0)
+	if len(items) != 3 {
+		t.Fatalf("items = %d", len(items))
+	}
+	if items[0].kind != itemChunk || items[1].kind != itemInput || items[2].kind != itemChunk {
+		t.Errorf("merge order wrong: %v %v %v", items[0].kind, items[1].kind, items[2].kind)
+	}
+}
+
+func TestDivergenceErrorMessage(t *testing.T) {
+	e := &DivergenceError{Thread: 3, Reason: "boom"}
+	if !strings.Contains(e.Error(), "thread 3") || !strings.Contains(e.Error(), "boom") {
+		t.Errorf("message = %q", e.Error())
+	}
+}

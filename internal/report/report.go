@@ -1,0 +1,104 @@
+// Package report renders the benchmark harness's tables and figure
+// series as aligned ASCII, the medium in which EXPERIMENTS.md records
+// paper-versus-measured results.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid with a header row.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; cells beyond len(Columns) are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Columns) {
+		cells = cells[:len(t.Columns)]
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i, w := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", w, cell)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// F formats a float with the given precision.
+func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// U formats an unsigned count.
+func U(v uint64) string { return fmt.Sprintf("%d", v) }
+
+// Series is one figure line: (x, y) points with labels.
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Points []Point
+}
+
+// Point is one figure sample.
+type Point struct {
+	X float64
+	Y float64
+	// Label optionally names the point (benchmark name on a bar chart).
+	Label string
+}
+
+// String renders the series as an aligned two-column listing.
+func (s *Series) String() string {
+	t := Table{
+		Title:   fmt.Sprintf("%s  [%s vs %s]", s.Title, s.YLabel, s.XLabel),
+		Columns: []string{s.XLabel, s.YLabel, ""},
+	}
+	for _, p := range s.Points {
+		t.AddRow(F(p.X, 2), F(p.Y, 4), p.Label)
+	}
+	return t.String()
+}

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		Title:   "Demo",
+		Columns: []string{"name", "value"},
+	}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("a-much-longer-name", "22")
+	out := tab.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: "value" header column starts at the same offset in
+	// each data row.
+	header := lines[1]
+	col := strings.Index(header, "value")
+	for _, l := range lines[3:] {
+		if len(l) < col {
+			t.Errorf("short row %q", l)
+		}
+	}
+}
+
+func TestAddRowClampsTooManyCells(t *testing.T) {
+	tab := Table{Columns: []string{"a"}}
+	tab.AddRow("x", "y", "z")
+	if len(tab.Rows[0]) != 1 {
+		t.Errorf("row kept %d cells, want 1", len(tab.Rows[0]))
+	}
+}
+
+func TestMissingCellsRenderEmpty(t *testing.T) {
+	tab := Table{Columns: []string{"a", "b"}}
+	tab.AddRow("only")
+	if out := tab.String(); !strings.Contains(out, "only") {
+		t.Errorf("row lost: %q", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Pct(0.135); got != "13.5%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := F(3.14159, 2); got != "3.14" {
+		t.Errorf("F = %q", got)
+	}
+	if got := U(42); got != "42" {
+		t.Errorf("U = %q", got)
+	}
+}
+
+func TestSeriesRendering(t *testing.T) {
+	s := Series{
+		Title: "Chunk CDF", XLabel: "size", YLabel: "fraction",
+		Points: []Point{{X: 10, Y: 0.5, Label: "p50"}, {X: 100, Y: 0.99}},
+	}
+	out := s.String()
+	for _, want := range []string{"Chunk CDF", "size", "fraction", "p50", "0.5000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series output missing %q:\n%s", want, out)
+		}
+	}
+}

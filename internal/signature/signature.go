@@ -1,0 +1,180 @@
+// Package signature implements the Bloom-filter address signatures used
+// by the QuickRec Memory Race Recorder. Each core keeps one read and one
+// write signature of the cache-line addresses touched in the current
+// chunk; incoming snoops are tested against them to detect inter-thread
+// conflicts without per-line metadata.
+//
+// The filter is deliberately hardware-shaped: a fixed bit array indexed
+// by k independent hash functions derived from a 64-bit mixer, an exact
+// insertion counter used to bound the false-positive rate (the MRR
+// terminates the chunk when the counter saturates), and an optional
+// exact shadow set used only for false-positive accounting in
+// experiments.
+package signature
+
+import "math/bits"
+
+// Config parameterises a signature.
+type Config struct {
+	// Bits is the number of bits in the filter. Must be a power of two.
+	Bits uint
+	// Hashes is the number of hash functions (k).
+	Hashes uint
+	// MaxInserts bounds the number of distinct line insertions before the
+	// signature reports saturation; the MRR terminates the chunk then.
+	// Zero means no bound.
+	MaxInserts uint
+	// TrackExact additionally maintains an exact set of inserted lines so
+	// experiments can report false-positive rates. Costs memory; off in
+	// normal operation.
+	TrackExact bool
+}
+
+// DefaultConfig mirrors the prototype's modest on-core budget: a 1024-bit
+// filter with two hash functions, saturating after 192 distinct lines.
+func DefaultConfig() Config {
+	return Config{Bits: 1024, Hashes: 2, MaxInserts: 192}
+}
+
+// Signature is a Bloom filter over cache-line addresses.
+type Signature struct {
+	cfg     Config
+	words   []uint64
+	mask    uint64
+	inserts uint
+	exact   map[uint64]struct{}
+
+	// accounting
+	tests     uint64
+	hits      uint64
+	falseHits uint64
+}
+
+// New returns an empty signature for the given configuration.
+// It panics if the configuration is invalid (a construction-time
+// programming error, not a runtime condition).
+func New(cfg Config) *Signature {
+	if cfg.Bits == 0 || cfg.Bits&(cfg.Bits-1) != 0 {
+		panic("signature: Bits must be a nonzero power of two")
+	}
+	if cfg.Hashes == 0 || cfg.Hashes > 8 {
+		panic("signature: Hashes must be in 1..8")
+	}
+	s := &Signature{
+		cfg:   cfg,
+		words: make([]uint64, cfg.Bits/64),
+		mask:  uint64(cfg.Bits) - 1,
+	}
+	if cfg.Bits < 64 {
+		s.words = make([]uint64, 1)
+	}
+	if cfg.TrackExact {
+		s.exact = make(map[uint64]struct{})
+	}
+	return s
+}
+
+// mix64 is the splitmix64 finalizer; a cheap, well-distributed mixer that
+// stands in for the XOR-fold hash trees real signature hardware uses.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// bitIndex returns the bit position for hash function i of line address a.
+func (s *Signature) bitIndex(a uint64, i uint) uint64 {
+	h := mix64(a + uint64(i)*0x9e3779b97f4a7c15)
+	return h & s.mask
+}
+
+// Insert adds a cache-line address. It returns true if the signature has
+// saturated (reached MaxInserts distinct insertions) and the chunk should
+// be terminated. Re-inserting a line already present does not advance the
+// saturation counter when exact tracking is enabled; without it, a line
+// whose every hash bit is already set is treated as present.
+func (s *Signature) Insert(line uint64) (saturated bool) {
+	if s.exact != nil {
+		if _, ok := s.exact[line]; ok {
+			return false
+		}
+		s.exact[line] = struct{}{}
+	} else if s.testBits(line) {
+		// All bits already set: either a duplicate or an alias; hardware
+		// cannot tell, and neither grows the filter, so don't count it.
+		return false
+	}
+	for i := uint(0); i < s.cfg.Hashes; i++ {
+		idx := s.bitIndex(line, i)
+		s.words[idx/64] |= 1 << (idx % 64)
+	}
+	s.inserts++
+	return s.cfg.MaxInserts > 0 && s.inserts >= s.cfg.MaxInserts
+}
+
+func (s *Signature) testBits(line uint64) bool {
+	for i := uint(0); i < s.cfg.Hashes; i++ {
+		idx := s.bitIndex(line, i)
+		if s.words[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Test reports whether the signature may contain the line (Bloom
+// semantics: false negatives are impossible, false positives are not).
+func (s *Signature) Test(line uint64) bool {
+	s.tests++
+	hit := s.testBits(line)
+	if hit {
+		s.hits++
+		if s.exact != nil {
+			if _, ok := s.exact[line]; !ok {
+				s.falseHits++
+			}
+		}
+	}
+	return hit
+}
+
+// Clear empties the signature (chunk boundary). Accounting counters are
+// preserved; Inserts resets.
+func (s *Signature) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	s.inserts = 0
+	if s.exact != nil {
+		s.exact = make(map[uint64]struct{})
+	}
+}
+
+// Inserts returns the number of distinct insertions since the last Clear.
+func (s *Signature) Inserts() uint { return s.inserts }
+
+// Saturated reports whether the signature has reached its insertion bound.
+func (s *Signature) Saturated() bool {
+	return s.cfg.MaxInserts > 0 && s.inserts >= s.cfg.MaxInserts
+}
+
+// Occupancy returns the fraction of set bits (0..1).
+func (s *Signature) Occupancy() float64 {
+	var set int
+	for _, w := range s.words {
+		set += bits.OnesCount64(w)
+	}
+	return float64(set) / float64(s.cfg.Bits)
+}
+
+// Stats reports lifetime test/hit/false-hit counts. FalseHits is only
+// meaningful when the signature was built with TrackExact.
+func (s *Signature) Stats() (tests, hits, falseHits uint64) {
+	return s.tests, s.hits, s.falseHits
+}
+
+// Config returns the configuration the signature was built with.
+func (s *Signature) Config() Config { return s.cfg }

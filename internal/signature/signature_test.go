@@ -1,0 +1,182 @@
+package signature
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := func(lines []uint64) bool {
+		s := New(Config{Bits: 1024, Hashes: 2})
+		for _, l := range lines {
+			s.Insert(l)
+		}
+		for _, l := range lines {
+			if !s.Test(l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClearEmpties(t *testing.T) {
+	s := New(DefaultConfig())
+	for i := uint64(0); i < 50; i++ {
+		s.Insert(i * 64)
+	}
+	if s.Inserts() != 50 {
+		t.Errorf("Inserts = %d, want 50", s.Inserts())
+	}
+	s.Clear()
+	if s.Inserts() != 0 {
+		t.Errorf("Inserts after Clear = %d, want 0", s.Inserts())
+	}
+	if s.Occupancy() != 0 {
+		t.Errorf("Occupancy after Clear = %v, want 0", s.Occupancy())
+	}
+	hits := 0
+	for i := uint64(0); i < 50; i++ {
+		if s.Test(i * 64) {
+			hits++
+		}
+	}
+	if hits != 0 {
+		t.Errorf("%d stale hits after Clear", hits)
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	s := New(Config{Bits: 4096, Hashes: 2, MaxInserts: 10})
+	saturated := false
+	for i := uint64(0); i < 10; i++ {
+		saturated = s.Insert(i)
+	}
+	if !saturated {
+		t.Error("expected saturation at 10th distinct insert")
+	}
+	if !s.Saturated() {
+		t.Error("Saturated() = false after saturation")
+	}
+}
+
+func TestDuplicateInsertsDoNotSaturate(t *testing.T) {
+	s := New(Config{Bits: 4096, Hashes: 2, MaxInserts: 5, TrackExact: true})
+	for i := 0; i < 100; i++ {
+		if s.Insert(0xabc) {
+			t.Fatal("duplicate inserts saturated the signature")
+		}
+	}
+	if s.Inserts() != 1 {
+		t.Errorf("Inserts = %d, want 1", s.Inserts())
+	}
+}
+
+func TestDuplicateInsertsWithoutExactTracking(t *testing.T) {
+	s := New(Config{Bits: 4096, Hashes: 2, MaxInserts: 5})
+	for i := 0; i < 100; i++ {
+		if s.Insert(0xabc) {
+			t.Fatal("duplicate inserts saturated the signature")
+		}
+	}
+	if s.Inserts() != 1 {
+		t.Errorf("Inserts = %d, want 1 (bits already set => treated as present)", s.Inserts())
+	}
+}
+
+func TestFalsePositiveAccounting(t *testing.T) {
+	s := New(Config{Bits: 64, Hashes: 2, TrackExact: true})
+	// Densely populate a tiny filter to force aliasing.
+	for i := uint64(0); i < 30; i++ {
+		s.Insert(i)
+	}
+	fp := 0
+	for i := uint64(1000); i < 2000; i++ {
+		if s.Test(i) {
+			fp++
+		}
+	}
+	tests, hits, falseHits := s.Stats()
+	if tests < 1000 {
+		t.Errorf("tests = %d, want >= 1000", tests)
+	}
+	if falseHits != uint64(fp) {
+		t.Errorf("falseHits = %d, want %d", falseHits, fp)
+	}
+	if hits < falseHits {
+		t.Errorf("hits %d < falseHits %d", hits, falseHits)
+	}
+	if fp == 0 {
+		t.Error("expected some aliasing in a 64-bit filter with 30 lines")
+	}
+}
+
+func TestOccupancyGrows(t *testing.T) {
+	s := New(Config{Bits: 1024, Hashes: 2})
+	prev := s.Occupancy()
+	if prev != 0 {
+		t.Fatalf("initial occupancy %v, want 0", prev)
+	}
+	for i := uint64(0); i < 100; i++ {
+		s.Insert(mixProbe(i))
+		occ := s.Occupancy()
+		if occ < prev {
+			t.Fatalf("occupancy decreased: %v -> %v", prev, occ)
+		}
+		prev = occ
+	}
+	if prev <= 0 || prev > 1 {
+		t.Errorf("occupancy %v out of (0,1]", prev)
+	}
+}
+
+func mixProbe(x uint64) uint64 { return mix64(x) }
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Bits: 0, Hashes: 2},
+		{Bits: 100, Hashes: 2}, // not a power of two
+		{Bits: 1024, Hashes: 0},
+		{Bits: 1024, Hashes: 9},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestConfigAccessor(t *testing.T) {
+	cfg := Config{Bits: 2048, Hashes: 3, MaxInserts: 64}
+	s := New(cfg)
+	if got := s.Config(); got != cfg {
+		t.Errorf("Config() = %+v, want %+v", got, cfg)
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	// With the default 1024-bit / 2-hash / 192-line budget, the false hit
+	// rate near saturation should stay below ~25%.
+	s := New(Config{Bits: 1024, Hashes: 2, MaxInserts: 192, TrackExact: true})
+	for i := uint64(0); i < 192; i++ {
+		s.Insert(i * 64)
+	}
+	fp := 0
+	const probes = 10000
+	for i := uint64(0); i < probes; i++ {
+		if s.Test((i + 1_000_000) * 64) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.25 {
+		t.Errorf("false positive rate %v too high at saturation", rate)
+	}
+}

@@ -1,0 +1,293 @@
+// Package stats provides small statistical containers used by the
+// recording hardware models and the benchmark harness: histograms with
+// power-of-two buckets, exact-sample CDFs, counters keyed by enum, and
+// aggregate helpers (mean, geometric mean, percentiles).
+//
+// All containers are deterministic and allocation-light so they can be
+// embedded in simulated hardware without perturbing measurements.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram counts uint64 samples in power-of-two buckets. Bucket i holds
+// samples v with 2^(i-1) < v <= 2^i (bucket 0 holds v == 0 and v == 1).
+// The zero value is ready to use.
+type Histogram struct {
+	buckets [65]uint64
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v uint64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketFor(v)]++
+}
+
+func bucketFor(v uint64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := 64 - leadingZeros(v-1)
+	return b
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if v&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Min returns the smallest sample, or 0 if empty.
+func (h *Histogram) Min() uint64 { return h.min }
+
+// Max returns the largest sample, or 0 if empty.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the arithmetic mean of the samples, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Bucket returns the count in power-of-two bucket i (0..64).
+func (h *Histogram) Bucket(i int) uint64 {
+	if i < 0 || i >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[i]
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) derived
+// from the bucket boundaries. It is exact to within a factor of two.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			if i == 0 {
+				return 1
+			}
+			return 1 << uint(i)
+		}
+	}
+	return h.max
+}
+
+// String summarises the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f min=%d p50<=%d p90<=%d p99<=%d max=%d",
+		h.count, h.Mean(), h.min, h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.max)
+}
+
+// Sample keeps every observation for exact quantiles and CDF extraction.
+// Intended for offline analysis in the bench harness, not hot paths.
+type Sample struct {
+	vals   []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = false
+}
+
+// AddUint records one integer observation.
+func (s *Sample) AddUint(v uint64) { s.Add(float64(v)) }
+
+// Len returns the number of observations.
+func (s *Sample) Len() int { return len(s.vals) }
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0..100) using nearest-rank.
+// It returns 0 for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	rank := int(math.Ceil(p / 100 * float64(len(s.vals))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s.vals) {
+		rank = len(s.vals)
+	}
+	return s.vals[rank-1]
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.vals[0]
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.vals[len(s.vals)-1]
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64 // observation value
+	Fraction float64 // fraction of observations <= Value
+}
+
+// CDF returns an empirical CDF reduced to at most n points, evenly spaced
+// by cumulative fraction. The last point always has Fraction == 1.
+func (s *Sample) CDF(n int) []CDFPoint {
+	if len(s.vals) == 0 || n <= 0 {
+		return nil
+	}
+	s.ensureSorted()
+	if n > len(s.vals) {
+		n = len(s.vals)
+	}
+	out := make([]CDFPoint, 0, n)
+	for i := 1; i <= n; i++ {
+		idx := i*len(s.vals)/n - 1
+		out = append(out, CDFPoint{
+			Value:    s.vals[idx],
+			Fraction: float64(idx+1) / float64(len(s.vals)),
+		})
+	}
+	return out
+}
+
+// GeoMean returns the geometric mean of xs; zero and negative values are
+// skipped. Returns 0 when no positive values exist.
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Counter tallies occurrences keyed by a small integer enum (for example
+// chunk-termination reasons). The zero value is ready to use.
+type Counter struct {
+	counts map[int]uint64
+	total  uint64
+}
+
+// Inc adds one occurrence of key.
+func (c *Counter) Inc(key int) { c.Addn(key, 1) }
+
+// Addn adds n occurrences of key.
+func (c *Counter) Addn(key int, n uint64) {
+	if c.counts == nil {
+		c.counts = make(map[int]uint64)
+	}
+	c.counts[key] += n
+	c.total += n
+}
+
+// Get returns the count for key.
+func (c *Counter) Get(key int) uint64 { return c.counts[key] }
+
+// Total returns the sum over all keys.
+func (c *Counter) Total() uint64 { return c.total }
+
+// Fraction returns the share of occurrences held by key (0 when empty).
+func (c *Counter) Fraction(key int) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.counts[key]) / float64(c.total)
+}
+
+// Keys returns the recorded keys in ascending order.
+func (c *Counter) Keys() []int {
+	keys := make([]int, 0, len(c.counts))
+	for k := range c.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Merge adds all counts from other into c.
+func (c *Counter) Merge(other *Counter) {
+	for k, v := range other.counts {
+		c.Addn(k, v)
+	}
+}

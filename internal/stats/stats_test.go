@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatalf("zero histogram not empty: %v", h.String())
+	}
+	for _, v := range []uint64{0, 1, 2, 3, 4, 100, 1000} {
+		h.Add(v)
+	}
+	if h.Count() != 7 {
+		t.Errorf("Count = %d, want 7", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 1000 {
+		t.Errorf("Min/Max = %d/%d, want 0/1000", h.Min(), h.Max())
+	}
+	if h.Sum() != 1110 {
+		t.Errorf("Sum = %d, want 1110", h.Sum())
+	}
+	want := 1110.0 / 7
+	if math.Abs(h.Mean()-want) > 1e-9 {
+		t.Errorf("Mean = %v, want %v", h.Mean(), want)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// 0 and 1 land in bucket 0; 2 in bucket 1; 3,4 in bucket 2; 5..8 in 3.
+	for _, v := range []uint64{0, 1, 2, 3, 4, 5, 8} {
+		h.Add(v)
+	}
+	if got := h.Bucket(0); got != 2 {
+		t.Errorf("bucket 0 = %d, want 2", got)
+	}
+	if got := h.Bucket(1); got != 1 {
+		t.Errorf("bucket 1 = %d, want 1", got)
+	}
+	if got := h.Bucket(2); got != 2 {
+		t.Errorf("bucket 2 = %d, want 2", got)
+	}
+	if got := h.Bucket(3); got != 2 {
+		t.Errorf("bucket 3 = %d, want 2", got)
+	}
+	if got := h.Bucket(-1); got != 0 {
+		t.Errorf("out-of-range bucket = %d, want 0", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 1000; i++ {
+		h.Add(i)
+	}
+	// Quantile returns a power-of-two upper bound; p50 of 1..1000 is 500,
+	// so the bound must be 512 and at least cover the true value.
+	if q := h.Quantile(0.5); q != 512 {
+		t.Errorf("p50 bound = %d, want 512", q)
+	}
+	if q := h.Quantile(1.0); q < 1000 {
+		t.Errorf("p100 bound = %d, want >= 1000", q)
+	}
+	if q := h.Quantile(0.0); q == 0 {
+		t.Errorf("p0 bound = 0, want >= 1")
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	f := func(vals []uint64) bool {
+		var h Histogram
+		for _, v := range vals {
+			h.Add(v % 1_000_000)
+		}
+		prev := uint64(0)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		s.AddUint(uint64(i))
+	}
+	if got := s.Percentile(50); got != 50 {
+		t.Errorf("p50 = %v, want 50", got)
+	}
+	if got := s.Percentile(99); got != 99 {
+		t.Errorf("p99 = %v, want 99", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Errorf("p100 = %v, want 100", got)
+	}
+	if got := s.Min(); got != 1 {
+		t.Errorf("Min = %v, want 1", got)
+	}
+	if got := s.Max(); got != 100 {
+		t.Errorf("Max = %v, want 100", got)
+	}
+	if got := s.Mean(); got != 50.5 {
+		t.Errorf("Mean = %v, want 50.5", got)
+	}
+}
+
+func TestSampleCDF(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 1000; i++ {
+		s.AddUint(uint64(i))
+	}
+	cdf := s.CDF(10)
+	if len(cdf) != 10 {
+		t.Fatalf("len(CDF) = %d, want 10", len(cdf))
+	}
+	if last := cdf[len(cdf)-1]; last.Fraction != 1 || last.Value != 1000 {
+		t.Errorf("final point = %+v, want {1000 1}", last)
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Value < cdf[i-1].Value || cdf[i].Fraction <= cdf[i-1].Fraction {
+			t.Errorf("CDF not monotone at %d: %+v -> %+v", i, cdf[i-1], cdf[i])
+		}
+	}
+	if s.CDF(0) != nil {
+		t.Error("CDF(0) should be nil")
+	}
+	var empty Sample
+	if empty.CDF(5) != nil {
+		t.Error("CDF of empty sample should be nil")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", g)
+	}
+	if g := GeoMean([]float64{0, -1}); g != 0 {
+		t.Errorf("GeoMean of nonpositives = %v, want 0", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", g)
+	}
+	// Zeros are skipped, not counted.
+	if g := GeoMean([]float64{0, 4}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("GeoMean(0,4) = %v, want 4", g)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", m)
+	}
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean(1,2,3) = %v, want 2", m)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc(3)
+	c.Inc(3)
+	c.Inc(1)
+	c.Addn(7, 5)
+	if c.Total() != 8 {
+		t.Errorf("Total = %d, want 8", c.Total())
+	}
+	if c.Get(3) != 2 || c.Get(1) != 1 || c.Get(7) != 5 || c.Get(99) != 0 {
+		t.Errorf("unexpected counts: %v %v %v %v", c.Get(3), c.Get(1), c.Get(7), c.Get(99))
+	}
+	if f := c.Fraction(7); math.Abs(f-5.0/8.0) > 1e-9 {
+		t.Errorf("Fraction(7) = %v, want 0.625", f)
+	}
+	keys := c.Keys()
+	if len(keys) != 3 || keys[0] != 1 || keys[1] != 3 || keys[2] != 7 {
+		t.Errorf("Keys = %v, want [1 3 7]", keys)
+	}
+
+	var d Counter
+	d.Inc(3)
+	d.Merge(&c)
+	if d.Get(3) != 3 || d.Total() != 9 {
+		t.Errorf("after merge: Get(3)=%d Total=%d, want 3, 9", d.Get(3), d.Total())
+	}
+
+	var empty Counter
+	if empty.Fraction(0) != 0 {
+		t.Error("Fraction on empty counter should be 0")
+	}
+}
+
+func TestBucketForProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		b := bucketFor(v)
+		if b < 0 || b > 64 {
+			return false
+		}
+		// v must be <= 2^b, and > 2^(b-1) for b >= 1 (except bucket 0).
+		if b == 0 {
+			return v <= 1
+		}
+		upper := float64(math.Pow(2, float64(b)))
+		lower := float64(math.Pow(2, float64(b-1)))
+		return float64(v) <= upper && float64(v) > lower
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

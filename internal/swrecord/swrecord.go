@@ -1,0 +1,88 @@
+// Package swrecord models the software-only alternative QuickRec's
+// hardware replaces: binary-instrumentation race recording in the style
+// of iDNA/PinPlay, where every memory access executes extra instructions
+// to maintain software signatures (or access logs) and every chunk
+// boundary is detected and logged in software.
+//
+// The paper's motivation is that such systems slow programs down by an
+// order of magnitude where the hardware-assisted stack costs ~13%. We
+// reproduce that comparison (experiment A1) analytically: a recorded run
+// supplies exact event counts (memory accesses, chunk terminations,
+// kernel crossings), and this package prices them at
+// software-instrumentation rates. This is deliberately a model, not a
+// second execution engine — the baseline's cost structure is what
+// matters, and modelling it keeps the comparison apples-to-apples on
+// identical executions.
+package swrecord
+
+import (
+	"repro/internal/machine"
+	"repro/internal/perf"
+)
+
+// Params prices software instrumentation in cycles.
+type Params struct {
+	// PerMemAccess is the instrumentation cost of one load or store:
+	// address hashing, signature update/test, and the branch back —
+	// typically 15-40 instructions in published software recorders.
+	PerMemAccess uint64
+	// PerRetired is the residual per-instruction dilation from code
+	// bloat and register pressure.
+	PerRetired uint64
+	// PerChunk is the software cost of closing a chunk (log formatting
+	// and buffer management done inline rather than by hardware).
+	PerChunk uint64
+	// PerSyscall is the extra interception cost relative to the
+	// already-modelled kernel path.
+	PerSyscall uint64
+}
+
+// DefaultParams reflects the mid-range of published software recorders
+// (roughly 5-15x slowdowns on memory-intensive code).
+func DefaultParams() Params {
+	return Params{
+		PerMemAccess: 20,
+		PerRetired:   1,
+		PerChunk:     120,
+		PerSyscall:   400,
+	}
+}
+
+// Estimate prices a recorded run under software-only instrumentation and
+// returns the estimated total cycles: the run's native cycle content
+// (everything that is not recording overhead) plus the modelled software
+// instrumentation.
+func Estimate(res *machine.Result, p Params) uint64 {
+	native := res.Cycles - res.Acct.RecordingTotal()
+	var chunks uint64
+	for _, s := range res.MRRStats {
+		chunks += s.Chunks
+	}
+	sw := res.MemAccesses*p.PerMemAccess +
+		res.Retired*p.PerRetired +
+		chunks*p.PerChunk +
+		res.Syscalls*p.PerSyscall
+	return native + sw
+}
+
+// Overhead returns the estimated software-recording slowdown as a
+// fraction of the native run (0.25 = 25% slower).
+func Overhead(res *machine.Result, p Params) float64 {
+	native := res.Cycles - res.Acct.RecordingTotal()
+	if native == 0 {
+		return 0
+	}
+	return float64(Estimate(res, p)-native) / float64(native)
+}
+
+// HardwareOverhead returns the measured QuickRec overhead fractions for
+// the same run: (hardware-only, full-stack), for side-by-side reporting.
+func HardwareOverhead(res *machine.Result) (hw, full float64) {
+	native := res.Cycles - res.Acct.RecordingTotal()
+	if native == 0 {
+		return 0, 0
+	}
+	hwCycles := res.Acct.Get(perf.CompRecHardware)
+	return float64(hwCycles) / float64(native),
+		float64(res.Acct.RecordingTotal()) / float64(native)
+}

@@ -1,0 +1,62 @@
+package swrecord
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func recordedRun(t *testing.T) *machine.Result {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.Mode = machine.ModeFull
+	res, err := machine.New(workload.Counter(500, 4), cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSoftwareBaselineDominatesHardware(t *testing.T) {
+	res := recordedRun(t)
+	p := DefaultParams()
+	sw := Overhead(res, p)
+	hw, full := HardwareOverhead(res)
+	if !(hw < full && full < sw) {
+		t.Errorf("overhead ordering broken: hw=%.3f full=%.3f sw=%.3f", hw, full, sw)
+	}
+	// The paper's motivation: software recording is many times costlier
+	// than the hardware-assisted stack.
+	if sw < 2*full {
+		t.Errorf("software overhead %.3f not clearly above full-stack %.3f", sw, full)
+	}
+	if sw < 1.0 {
+		t.Errorf("software instrumentation overhead %.1f%% implausibly low", sw*100)
+	}
+}
+
+func TestEstimateMonotonicInParams(t *testing.T) {
+	res := recordedRun(t)
+	base := Estimate(res, DefaultParams())
+	bigger := DefaultParams()
+	bigger.PerMemAccess *= 2
+	if Estimate(res, bigger) <= base {
+		t.Error("doubling per-access cost did not increase the estimate")
+	}
+	zero := Params{}
+	native := res.Cycles - res.Acct.RecordingTotal()
+	if Estimate(res, zero) != native {
+		t.Error("zero-cost instrumentation should equal the native run")
+	}
+}
+
+func TestOverheadZeroNative(t *testing.T) {
+	empty := &machine.Result{}
+	if Overhead(empty, DefaultParams()) != 0 {
+		t.Error("zero-cycle run should report zero overhead")
+	}
+	if hw, full := HardwareOverhead(empty); hw != 0 || full != 0 {
+		t.Error("zero-cycle run should report zero hardware overheads")
+	}
+}

@@ -1,0 +1,532 @@
+package workload
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// SPLASH-2-like kernels. Each mirrors the sharing structure of its
+// namesake — the property chunk-based recording is sensitive to — using
+// integer arithmetic in place of floating point (chunking behaviour
+// depends on communication patterns, not on FP semantics; see DESIGN.md).
+//
+// Register conventions: constants live in R28/R30/R31, locals in R3..R9
+// and R15..R19; R10..R14 and R20..R27 belong to syscall/sync emitters.
+
+// fftMixMul is the multiplicative constant of the kernels' integer mixer.
+const fftMixMul = 0x9E3779B1
+
+// FFT builds the six-step-FFT-like kernel: barrier-separated phases of
+// (a) private mixing of each thread's partition, (b) an all-to-all
+// strided "transpose" read across every partition, and (c) a private
+// write-back. Communication is the bulk strided read — the same pattern
+// that dominates SPLASH-2 FFT.
+func FFT(n uint64, phases int64, threads int) *isa.Program {
+	p := uint64(threads)
+	if n%p != 0 {
+		panic("workload: FFT size must be a multiple of the thread count")
+	}
+	chunkLen := n / p
+	var lay mem.Layout
+	a0 := lay.AllocWords(n)
+	bar := lay.AllocWords(2)
+
+	b := isa.NewBuilder("fft")
+	b.Liu(isa.R3, chunkLen)
+	b.Liu(isa.R4, chunkLen*8)
+	b.Mul(isa.R4, RegTID, isa.R4)
+	b.Liu(isa.R5, a0)
+	b.Add(isa.R5, isa.R5, isa.R4) // R5 = my partition base
+	b.Li(isa.R6, 0)               // phase
+	b.Li(isa.R7, phases)
+
+	b.Label("phase")
+	// (a) private mix of own partition.
+	b.Li(isa.R8, 0)
+	b.Mov(isa.R9, isa.R5)
+	b.Label("mix")
+	b.Ld(isa.R15, isa.R9, 0)
+	b.Muli(isa.R15, isa.R15, fftMixMul)
+	b.Shri(isa.R16, isa.R15, 13)
+	b.Xor(isa.R15, isa.R15, isa.R16)
+	b.Add(isa.R15, isa.R15, isa.R6)
+	b.St(isa.R9, 0, isa.R15)
+	b.Addi(isa.R9, isa.R9, 8)
+	b.Addi(isa.R8, isa.R8, 1)
+	b.Bne(isa.R8, isa.R3, "mix")
+	b.Liu(isa.R9, bar)
+	EmitBarrier(b, "fb1", isa.R9)
+
+	// (b) transpose read: accumulate A[i*p + tid] over the whole array.
+	b.Li(isa.R8, 0)
+	b.Li(isa.R15, 0) // acc
+	b.Label("transpose")
+	b.Muli(isa.R16, isa.R8, int64(p))
+	b.Add(isa.R16, isa.R16, RegTID)
+	b.Shli(isa.R16, isa.R16, 3)
+	b.Liu(isa.R17, a0)
+	b.Add(isa.R16, isa.R17, isa.R16)
+	b.Ld(isa.R18, isa.R16, 0)
+	b.Add(isa.R15, isa.R15, isa.R18)
+	b.Addi(isa.R8, isa.R8, 1)
+	b.Bne(isa.R8, isa.R3, "transpose")
+	b.Liu(isa.R9, bar)
+	EmitBarrier(b, "fb2", isa.R9)
+
+	// (c) private write-back of the accumulated value.
+	b.Li(isa.R8, 0)
+	b.Mov(isa.R9, isa.R5)
+	b.Label("writeback")
+	b.Ld(isa.R16, isa.R9, 0)
+	b.Xor(isa.R16, isa.R16, isa.R15)
+	b.St(isa.R9, 0, isa.R16)
+	b.Addi(isa.R9, isa.R9, 8)
+	b.Addi(isa.R8, isa.R8, 1)
+	b.Bne(isa.R8, isa.R3, "writeback")
+	b.Liu(isa.R9, bar)
+	EmitBarrier(b, "fb3", isa.R9)
+
+	b.Addi(isa.R6, isa.R6, 1)
+	b.Bne(isa.R6, isa.R7, "phase")
+	b.Halt()
+
+	init := func(m *mem.Memory) {
+		for i := uint64(0); i < n; i++ {
+			m.Store(a0+i*8, i*7+1)
+		}
+	}
+	prog := b.Build(lay.Size(), threads, init)
+	prog.Symbols["a"] = a0
+	return prog
+}
+
+// FFTReference computes the expected final array of FFT in Go.
+func FFTReference(n uint64, phases int64, threads int) []uint64 {
+	p := uint64(threads)
+	chunkLen := n / p
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = uint64(i)*7 + 1
+	}
+	for phase := uint64(0); phase < uint64(phases); phase++ {
+		for t := uint64(0); t < p; t++ {
+			base := t * chunkLen
+			for i := uint64(0); i < chunkLen; i++ {
+				x := a[base+i] * fftMixMul
+				x ^= x >> 13
+				a[base+i] = x + phase
+			}
+		}
+		accs := make([]uint64, p)
+		for t := uint64(0); t < p; t++ {
+			for i := uint64(0); i < chunkLen; i++ {
+				accs[t] += a[i*p+t]
+			}
+		}
+		for t := uint64(0); t < p; t++ {
+			base := t * chunkLen
+			for i := uint64(0); i < chunkLen; i++ {
+				a[base+i] ^= accs[t]
+			}
+		}
+	}
+	return a
+}
+
+const luMixMul = 0x85EBCA77
+
+// LU builds the blocked-LU-like kernel: for each step k, the owner of
+// diagonal block k updates it privately; after a barrier every thread
+// folds the (read-shared) diagonal block into its own later blocks. The
+// one-producer/many-consumer block sharing is SPLASH-2 LU's signature.
+func LU(blocks, blockWords uint64, threads int) *isa.Program {
+	p := uint64(threads)
+	var lay mem.Layout
+	a0 := lay.AllocWords(blocks * blockWords)
+	bar := lay.AllocWords(2)
+
+	b := isa.NewBuilder("lu")
+	b.Liu(isa.R28, blockWords)
+	b.Liu(isa.R30, blocks)
+	b.Liu(isa.R31, p)
+	b.Li(isa.R3, 0) // k
+
+	b.Label("kloop")
+	// Diagonal update by owner(k) = k mod p.
+	b.Rem(isa.R4, isa.R3, isa.R31)
+	b.Bne(isa.R4, RegTID, "skipdiag")
+	b.Muli(isa.R5, isa.R3, int64(blockWords*8))
+	b.Liu(isa.R6, a0)
+	b.Add(isa.R5, isa.R5, isa.R6) // diag base
+	b.Li(isa.R7, 0)
+	b.Label("diag")
+	b.Ld(isa.R8, isa.R5, 0)
+	b.Muli(isa.R8, isa.R8, luMixMul)
+	b.Shri(isa.R9, isa.R8, 17)
+	b.Xor(isa.R8, isa.R8, isa.R9)
+	b.St(isa.R5, 0, isa.R8)
+	b.Addi(isa.R5, isa.R5, 8)
+	b.Addi(isa.R7, isa.R7, 1)
+	b.Bne(isa.R7, isa.R28, "diag")
+	b.Label("skipdiag")
+	b.Liu(isa.R9, bar)
+	EmitBarrier(b, "lb1", isa.R9)
+
+	// Trailing update: blocks j in (k, blocks) owned by this thread.
+	b.Addi(isa.R7, isa.R3, 1) // j
+	b.Label("jloop")
+	b.Bge(isa.R7, isa.R30, "jdone")
+	b.Rem(isa.R8, isa.R7, isa.R31)
+	b.Bne(isa.R8, RegTID, "jnext")
+	b.Muli(isa.R5, isa.R3, int64(blockWords*8))
+	b.Liu(isa.R6, a0)
+	b.Add(isa.R5, isa.R5, isa.R6) // diag base
+	b.Muli(isa.R9, isa.R7, int64(blockWords*8))
+	b.Add(isa.R9, isa.R9, isa.R6) // block j base
+	b.Li(isa.R17, 0)
+	b.Label("iloop")
+	b.Ld(isa.R18, isa.R5, 0) // diag word (read-shared)
+	b.Muli(isa.R18, isa.R18, luMixMul)
+	b.Shri(isa.R19, isa.R18, 11)
+	b.Xor(isa.R18, isa.R18, isa.R19)
+	b.Ld(isa.R16, isa.R9, 0)
+	b.Xor(isa.R16, isa.R16, isa.R18)
+	b.St(isa.R9, 0, isa.R16)
+	b.Addi(isa.R5, isa.R5, 8)
+	b.Addi(isa.R9, isa.R9, 8)
+	b.Addi(isa.R17, isa.R17, 1)
+	b.Bne(isa.R17, isa.R28, "iloop")
+	b.Label("jnext")
+	b.Addi(isa.R7, isa.R7, 1)
+	b.Jmp("jloop")
+	b.Label("jdone")
+	b.Liu(isa.R9, bar)
+	EmitBarrier(b, "lb2", isa.R9)
+
+	b.Addi(isa.R3, isa.R3, 1)
+	b.Bne(isa.R3, isa.R30, "kloop")
+	b.Halt()
+
+	init := func(m *mem.Memory) {
+		for i := uint64(0); i < blocks*blockWords; i++ {
+			m.Store(a0+i*8, i*13+5)
+		}
+	}
+	prog := b.Build(lay.Size(), threads, init)
+	prog.Symbols["a"] = a0
+	return prog
+}
+
+// LUReference computes LU's expected final array in Go.
+func LUReference(blocks, blockWords uint64, threads int) []uint64 {
+	a := make([]uint64, blocks*blockWords)
+	for i := range a {
+		a[i] = uint64(i)*13 + 5
+	}
+	for k := uint64(0); k < blocks; k++ {
+		diag := a[k*blockWords : (k+1)*blockWords]
+		for i := range diag {
+			x := diag[i] * luMixMul
+			x ^= x >> 17
+			diag[i] = x
+		}
+		for j := k + 1; j < blocks; j++ {
+			blk := a[j*blockWords : (j+1)*blockWords]
+			for i := range blk {
+				x := diag[i] * luMixMul
+				x ^= x >> 11
+				blk[i] ^= x
+			}
+		}
+	}
+	return a
+}
+
+// Radix builds the radix-sort kernel, following SPLASH-2 RADIX's
+// rank-based algorithm: per digit pass, every thread counts its
+// partition into its own row of a shared histogram matrix (disjoint
+// writes), a serial rank step turns the matrix into per-thread,
+// per-bucket starting offsets, and each thread then scatters its
+// elements into the shared output array at ranked positions — a stable
+// permutation with heavy scattered write sharing but no atomics. Keys
+// are bytes, sorted completely by two 4-bit passes; the result is
+// deterministic and verified against a Go reference.
+func Radix(n uint64, threads int) *isa.Program {
+	p := uint64(threads)
+	if n%p != 0 {
+		panic("workload: Radix size must be a multiple of the thread count")
+	}
+	part := n / p
+	var lay mem.Layout
+	src := lay.AllocWords(n)
+	dst := lay.AllocWords(n)
+	// hist[t][d] and offs[t][d]: one 16-word row per thread.
+	hists := make([]uint64, threads)
+	offs := make([]uint64, threads)
+	for t := 0; t < threads; t++ {
+		hists[t] = lay.AllocWords(16)
+	}
+	for t := 0; t < threads; t++ {
+		offs[t] = lay.AllocWords(16)
+	}
+	bar := lay.AllocWords(2)
+	histStride := uint64(0)
+	offStride := uint64(0)
+	if threads > 1 {
+		histStride = hists[1] - hists[0]
+		offStride = offs[1] - offs[0]
+	}
+
+	b := isa.NewBuilder("radix")
+	b.Liu(isa.R30, part)
+
+	for pass, shift := range []int64{0, 4} {
+		pfx := uniquePrefix("r", pass)
+
+		// My histogram row: zero it, then count my partition.
+		b.Liu(isa.R3, histStride)
+		b.Mul(isa.R3, RegTID, isa.R3)
+		b.Liu(isa.R4, hists[0])
+		b.Add(isa.R3, isa.R3, isa.R4) // my hist row
+		b.Mov(isa.R4, isa.R3)
+		b.Li(isa.R5, 0)
+		b.Label(pfx + "_zero")
+		b.St(isa.R4, 0, isa.R0)
+		b.Addi(isa.R4, isa.R4, 8)
+		b.Addi(isa.R5, isa.R5, 1)
+		b.Li(isa.R6, 16)
+		b.Bne(isa.R5, isa.R6, pfx+"_zero")
+
+		b.Liu(isa.R5, part*8)
+		b.Mul(isa.R5, RegTID, isa.R5)
+		b.Liu(isa.R6, src)
+		b.Add(isa.R5, isa.R5, isa.R6) // my src partition
+		b.Li(isa.R4, 0)
+		b.Label(pfx + "_count")
+		b.Ld(isa.R7, isa.R5, 0)
+		b.Shri(isa.R7, isa.R7, shift)
+		b.Andi(isa.R7, isa.R7, 15)
+		b.Shli(isa.R7, isa.R7, 3)
+		b.Add(isa.R7, isa.R3, isa.R7)
+		b.Ld(isa.R8, isa.R7, 0)
+		b.Addi(isa.R8, isa.R8, 1)
+		b.St(isa.R7, 0, isa.R8)
+		b.Addi(isa.R5, isa.R5, 8)
+		b.Addi(isa.R4, isa.R4, 1)
+		b.Bne(isa.R4, isa.R30, pfx+"_count")
+		b.Liu(isa.R9, bar)
+		EmitBarrier(b, pfx+"_b0", isa.R9)
+
+		// Serial rank step by thread 0:
+		// offs[t][d] = sum(hist[*][d'<d]) + sum(hist[u<t][d]).
+		b.Bne(RegTID, isa.R0, pfx+"_rdone")
+		b.Li(isa.R3, 0) // running base over buckets
+		b.Li(isa.R4, 0) // d
+		b.Label(pfx + "_dloop")
+		b.Shli(isa.R5, isa.R4, 3) // byte offset of bucket d
+		b.Li(isa.R6, 0)           // t
+		b.Label(pfx + "_tloop")
+		b.Liu(isa.R7, offStride)
+		b.Mul(isa.R7, isa.R6, isa.R7)
+		b.Liu(isa.R8, offs[0])
+		b.Add(isa.R7, isa.R7, isa.R8)
+		b.Add(isa.R7, isa.R7, isa.R5)
+		b.St(isa.R7, 0, isa.R3) // offs[t][d] = base
+		b.Liu(isa.R7, histStride)
+		b.Mul(isa.R7, isa.R6, isa.R7)
+		b.Liu(isa.R8, hists[0])
+		b.Add(isa.R7, isa.R7, isa.R8)
+		b.Add(isa.R7, isa.R7, isa.R5)
+		b.Ld(isa.R8, isa.R7, 0)
+		b.Add(isa.R3, isa.R3, isa.R8) // base += hist[t][d]
+		b.Addi(isa.R6, isa.R6, 1)
+		b.Li(isa.R7, int64(threads))
+		b.Bne(isa.R6, isa.R7, pfx+"_tloop")
+		b.Addi(isa.R4, isa.R4, 1)
+		b.Li(isa.R7, 16)
+		b.Bne(isa.R4, isa.R7, pfx+"_dloop")
+		b.Label(pfx + "_rdone")
+		b.Liu(isa.R9, bar)
+		EmitBarrier(b, pfx+"_b1", isa.R9)
+
+		// Ranked scatter: cursors live in my offs row (private writes).
+		b.Liu(isa.R3, offStride)
+		b.Mul(isa.R3, RegTID, isa.R3)
+		b.Liu(isa.R4, offs[0])
+		b.Add(isa.R3, isa.R3, isa.R4) // my offs row
+		b.Liu(isa.R5, part*8)
+		b.Mul(isa.R5, RegTID, isa.R5)
+		b.Liu(isa.R6, src)
+		b.Add(isa.R5, isa.R5, isa.R6)
+		b.Li(isa.R4, 0)
+		b.Label(pfx + "_place")
+		b.Ld(isa.R7, isa.R5, 0)
+		b.Shri(isa.R8, isa.R7, shift)
+		b.Andi(isa.R8, isa.R8, 15)
+		b.Shli(isa.R8, isa.R8, 3)
+		b.Add(isa.R8, isa.R3, isa.R8) // &cursor[d]
+		b.Ld(isa.R15, isa.R8, 0)      // slot
+		b.Addi(isa.R16, isa.R15, 1)
+		b.St(isa.R8, 0, isa.R16)
+		b.Shli(isa.R15, isa.R15, 3)
+		b.Liu(isa.R16, dst)
+		b.Add(isa.R15, isa.R16, isa.R15)
+		b.St(isa.R15, 0, isa.R7) // dst[slot] = elem
+		b.Addi(isa.R5, isa.R5, 8)
+		b.Addi(isa.R4, isa.R4, 1)
+		b.Bne(isa.R4, isa.R30, pfx+"_place")
+		b.Liu(isa.R9, bar)
+		EmitBarrier(b, pfx+"_b2", isa.R9)
+
+		// Copy my partition back from dst to src for the next pass.
+		b.Liu(isa.R5, part*8)
+		b.Mul(isa.R5, RegTID, isa.R5)
+		b.Liu(isa.R6, src)
+		b.Add(isa.R6, isa.R6, isa.R5)
+		b.Liu(isa.R7, dst)
+		b.Add(isa.R7, isa.R7, isa.R5)
+		b.Liu(isa.R8, part)
+		b.RepMovs(isa.R6, isa.R7, isa.R8)
+		b.Liu(isa.R9, bar)
+		EmitBarrier(b, pfx+"_b3", isa.R9)
+	}
+	b.Halt()
+
+	init := func(m *mem.Memory) {
+		for i, v := range RadixInitValues(n) {
+			m.Store(src+uint64(i)*8, v)
+		}
+	}
+	prog := b.Build(lay.Size(), threads, init)
+	prog.Symbols["src"] = src
+	prog.Symbols["dst"] = dst
+	return prog
+}
+
+// RadixInitValues returns the initial byte-valued keys.
+func RadixInitValues(n uint64) []uint64 {
+	out := make([]uint64, n)
+	x := uint64(0x243F6A8885A308D3)
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = x & 0xFF
+	}
+	return out
+}
+
+// RadixReference returns the expected fully sorted key array.
+func RadixReference(n uint64) []uint64 {
+	out := RadixInitValues(n)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Ocean builds the grid-stencil kernel: threads own horizontal bands of
+// a 2D grid and Jacobi-iterate with double buffering; only band-edge rows
+// are communicated, through barrier-separated neighbour reads — SPLASH-2
+// OCEAN's nearest-neighbour pattern.
+func Ocean(rows, cols uint64, iters int64, threads int) *isa.Program {
+	p := uint64(threads)
+	if rows%p != 0 || rows < 3 {
+		panic("workload: Ocean rows must be a positive multiple of the thread count (>= 3)")
+	}
+	var lay mem.Layout
+	g1 := lay.AllocWords(rows * cols)
+	g2 := lay.AllocWords(rows * cols)
+	bar := lay.AllocWords(2)
+	band := rows / p
+
+	b := isa.NewBuilder("ocean")
+	// R4 = first row (clamped to 1), R5 = limit row (clamped to rows-1).
+	b.Liu(isa.R3, band)
+	b.Mul(isa.R4, RegTID, isa.R3)
+	b.Add(isa.R5, isa.R4, isa.R3)
+	b.Li(isa.R6, 1)
+	b.Bge(isa.R4, isa.R6, "lo_ok")
+	b.Li(isa.R4, 1)
+	b.Label("lo_ok")
+	b.Liu(isa.R6, rows-1)
+	b.Blt(isa.R5, isa.R6, "hi_ok")
+	b.Liu(isa.R5, rows-1)
+	b.Label("hi_ok")
+
+	b.Liu(isa.R15, g1) // src
+	b.Liu(isa.R16, g2) // dst
+	b.Li(isa.R3, 0)    // iteration
+	b.Label("iter")
+
+	b.Mov(isa.R6, isa.R4) // i
+	b.Label("rowloop")
+	b.Bge(isa.R6, isa.R5, "rowdone")
+	b.Li(isa.R7, 1) // j
+	b.Label("colloop")
+	// addr(i,j) = base + (i*cols + j)*8
+	b.Muli(isa.R8, isa.R6, int64(cols))
+	b.Add(isa.R8, isa.R8, isa.R7)
+	b.Shli(isa.R8, isa.R8, 3)
+	b.Add(isa.R9, isa.R15, isa.R8) // &src[i][j]
+	b.Ld(isa.R18, isa.R9, -int64(cols)*8)
+	b.Ld(isa.R19, isa.R9, int64(cols)*8)
+	b.Add(isa.R18, isa.R18, isa.R19)
+	b.Ld(isa.R19, isa.R9, -8)
+	b.Add(isa.R18, isa.R18, isa.R19)
+	b.Ld(isa.R19, isa.R9, 8)
+	b.Add(isa.R18, isa.R18, isa.R19)
+	b.Shri(isa.R18, isa.R18, 2)
+	b.Add(isa.R17, isa.R16, isa.R8) // &dst[i][j]
+	b.St(isa.R17, 0, isa.R18)
+	b.Addi(isa.R7, isa.R7, 1)
+	b.Liu(isa.R19, cols-1)
+	b.Bne(isa.R7, isa.R19, "colloop")
+	b.Addi(isa.R6, isa.R6, 1)
+	b.Jmp("rowloop")
+	b.Label("rowdone")
+	b.Liu(isa.R9, bar)
+	EmitBarrier(b, "ob", isa.R9)
+
+	// Swap src/dst for the next sweep.
+	b.Mov(isa.R17, isa.R15)
+	b.Mov(isa.R15, isa.R16)
+	b.Mov(isa.R16, isa.R17)
+	b.Addi(isa.R3, isa.R3, 1)
+	b.Li(isa.R19, iters)
+	b.Bne(isa.R3, isa.R19, "iter")
+	b.Halt()
+
+	init := func(m *mem.Memory) {
+		for i := uint64(0); i < rows*cols; i++ {
+			v := (i*2654435761 + 17) % 4096
+			m.Store(g1+i*8, v)
+			m.Store(g2+i*8, v) // boundaries must match in both buffers
+		}
+	}
+	prog := b.Build(lay.Size(), threads, init)
+	prog.Symbols["g1"] = g1
+	prog.Symbols["g2"] = g2
+	return prog
+}
+
+// OceanReference computes Ocean's expected final grids in Go, returning
+// (g1, g2) contents after iters sweeps.
+func OceanReference(rows, cols uint64, iters int64) (g1, g2 []uint64) {
+	g1 = make([]uint64, rows*cols)
+	for i := range g1 {
+		g1[i] = (uint64(i)*2654435761 + 17) % 4096
+	}
+	g2 = append([]uint64(nil), g1...)
+	src, dst := g1, g2
+	for it := int64(0); it < iters; it++ {
+		for i := uint64(1); i < rows-1; i++ {
+			for j := uint64(1); j < cols-1; j++ {
+				sum := src[(i-1)*cols+j] + src[(i+1)*cols+j] + src[i*cols+j-1] + src[i*cols+j+1]
+				dst[i*cols+j] = sum >> 2
+			}
+		}
+		src, dst = dst, src
+	}
+	return g1, g2
+}

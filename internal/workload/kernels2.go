@@ -1,0 +1,325 @@
+package workload
+
+import (
+	"repro/internal/capo"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Barnes builds the tree-update-like kernel: threads perform
+// pseudo-random walks over a shared node array, updating per-node
+// accumulators under per-node futex locks — the irregular, fine-grained
+// locking of SPLASH-2 BARNES. Each node occupies one cache line with its
+// lock word co-resident, so lock and data contention coincide.
+func Barnes(nodes uint64, steps int64, threads int) *isa.Program {
+	var lay mem.Layout
+	tree := lay.AllocWords(nodes * 8) // 8 words (one line) per node: [lock, value, ...]
+	bar := lay.AllocWords(2)
+
+	b := isa.NewBuilder("barnes")
+	b.Liu(isa.R30, nodes)
+	b.Liu(isa.R28, 0x9E3779B97F4A7C15)
+	b.Li(isa.R3, 0) // step s
+	b.Li(isa.R4, steps)
+	// seed = tid*steps so every thread walks a distinct sequence
+	b.Li(isa.R5, steps)
+	b.Mul(isa.R5, RegTID, isa.R5)
+
+	b.Label("walk")
+	// idx = mix(seed + s) % nodes
+	b.Add(isa.R6, isa.R5, isa.R3)
+	b.Mul(isa.R6, isa.R6, isa.R28)
+	b.Shri(isa.R7, isa.R6, 29)
+	b.Xor(isa.R6, isa.R6, isa.R7)
+	b.Rem(isa.R6, isa.R6, isa.R30)
+	b.Muli(isa.R6, isa.R6, 64)
+	b.Liu(isa.R7, tree)
+	b.Add(isa.R6, isa.R7, isa.R6) // node base = lock word address
+	EmitFutexLock(b, "bn", isa.R6)
+	b.Ld(isa.R8, isa.R6, 8)
+	b.Addi(isa.R9, isa.R3, 1)
+	b.Add(isa.R8, isa.R8, isa.R9) // value += s+1
+	b.St(isa.R6, 8, isa.R8)
+	EmitFutexUnlock(b, "bn", isa.R6)
+	b.Addi(isa.R3, isa.R3, 1)
+	b.Bne(isa.R3, isa.R4, "walk")
+	b.Liu(isa.R9, bar)
+	EmitBarrier(b, "bb", isa.R9)
+	b.Halt()
+
+	prog := b.Build(lay.Size(), threads, nil)
+	prog.Symbols["tree"] = tree
+	return prog
+}
+
+// BarnesExpectedSum returns the schedule-independent total of all node
+// values after a Barnes run: every thread adds 1+2+...+steps.
+func BarnesExpectedSum(steps int64, threads int) uint64 {
+	per := uint64(steps) * uint64(steps+1) / 2
+	return per * uint64(threads)
+}
+
+const rayMixMul = 0xC2B2AE3D
+
+// Raytrace builds the work-stealing kernel: threads race fetch-adds on a
+// shared task cursor and render disjoint framebuffer slots from a
+// read-only scene — SPLASH-2 RAYTRACE's dynamic load balancing. Task
+// assignment is schedule-dependent; the rendered contents are not.
+func Raytrace(tasks, sceneWords, samplesPerTask uint64, threads int) *isa.Program {
+	var lay mem.Layout
+	scene := lay.AllocWords(sceneWords)
+	fb := lay.AllocWords(tasks)
+	cursor := lay.AllocWords(1)
+	bar := lay.AllocWords(2)
+
+	b := isa.NewBuilder("raytrace")
+	b.Liu(isa.R30, tasks)
+	b.Liu(isa.R31, sceneWords)
+	b.Li(isa.R15, 1)
+
+	b.Label("steal")
+	b.Liu(isa.R3, cursor)
+	b.Fadd(isa.R4, isa.R3, 0, isa.R15) // t = cursor++
+	b.Bgeu(isa.R4, isa.R30, "done")
+	// Render task t: acc over samplesPerTask scene reads.
+	b.Li(isa.R5, 0) // k
+	b.Li(isa.R6, 0) // acc
+	b.Liu(isa.R7, samplesPerTask)
+	b.Label("sample")
+	// pos = (t*samples + k) mixed % sceneWords
+	b.Muli(isa.R8, isa.R4, int64(samplesPerTask))
+	b.Add(isa.R8, isa.R8, isa.R5)
+	b.Muli(isa.R8, isa.R8, rayMixMul)
+	b.Shri(isa.R9, isa.R8, 15)
+	b.Xor(isa.R8, isa.R8, isa.R9)
+	b.Rem(isa.R8, isa.R8, isa.R31)
+	b.Shli(isa.R8, isa.R8, 3)
+	b.Liu(isa.R9, scene)
+	b.Add(isa.R8, isa.R9, isa.R8)
+	b.Ld(isa.R9, isa.R8, 0)
+	b.Add(isa.R6, isa.R6, isa.R9)
+	b.Addi(isa.R5, isa.R5, 1)
+	b.Bne(isa.R5, isa.R7, "sample")
+	// fb[t] = acc ^ t
+	b.Xor(isa.R6, isa.R6, isa.R4)
+	b.Shli(isa.R8, isa.R4, 3)
+	b.Liu(isa.R9, fb)
+	b.Add(isa.R8, isa.R9, isa.R8)
+	b.St(isa.R8, 0, isa.R6)
+	b.Jmp("steal")
+	b.Label("done")
+	b.Liu(isa.R9, bar)
+	EmitBarrier(b, "rb", isa.R9)
+	b.Halt()
+
+	init := func(m *mem.Memory) {
+		for i := uint64(0); i < sceneWords; i++ {
+			m.Store(scene+i*8, i*31+7)
+		}
+	}
+	prog := b.Build(lay.Size(), threads, init)
+	prog.Symbols["scene"] = scene
+	prog.Symbols["fb"] = fb
+	return prog
+}
+
+// RaytraceReference computes the expected framebuffer contents (task
+// outputs are deterministic regardless of which thread renders them).
+func RaytraceReference(tasks, sceneWords, samplesPerTask uint64) []uint64 {
+	scene := make([]uint64, sceneWords)
+	for i := range scene {
+		scene[i] = uint64(i)*31 + 7
+	}
+	fb := make([]uint64, tasks)
+	for t := uint64(0); t < tasks; t++ {
+		var acc uint64
+		for k := uint64(0); k < samplesPerTask; k++ {
+			pos := (t*samplesPerTask + k) * rayMixMul
+			pos ^= pos >> 15
+			acc += scene[pos%sceneWords]
+		}
+		fb[t] = acc ^ t
+	}
+	return fb
+}
+
+// Water builds the mostly-private kernel: threads iterate over private
+// molecule arrays and fold a per-step partial sum into one lock-protected
+// global accumulator per step, barrier-separated — SPLASH-2 WATER's
+// compute/reduce cadence. Sharing is rare, so chunks should be long.
+func Water(molWords uint64, steps int64, threads int) *isa.Program {
+	var lay mem.Layout
+	mols := make([]uint64, threads)
+	for t := range mols {
+		mols[t] = lay.AllocWords(molWords)
+	}
+	base := mols[0]
+	stride := uint64(0)
+	if threads > 1 {
+		stride = mols[1] - mols[0]
+	}
+	lock := lay.AllocWords(1)
+	global := lay.AllocWords(1)
+	bar := lay.AllocWords(2)
+
+	b := isa.NewBuilder("water")
+	b.Liu(isa.R3, base)
+	b.Liu(isa.R4, stride)
+	b.Mul(isa.R4, RegTID, isa.R4)
+	b.Add(isa.R3, isa.R3, isa.R4) // my molecules
+	b.Li(isa.R5, 0)               // step
+	b.Li(isa.R6, steps)
+
+	b.Label("step")
+	// Private update pass: mol[i] = mix(mol[i]); partial += mol[i]
+	b.Li(isa.R7, 0)
+	b.Mov(isa.R8, isa.R3)
+	b.Li(isa.R15, 0) // partial
+	b.Label("mol")
+	b.Ld(isa.R9, isa.R8, 0)
+	b.Muli(isa.R9, isa.R9, luMixMul)
+	b.Shri(isa.R16, isa.R9, 19)
+	b.Xor(isa.R9, isa.R9, isa.R16)
+	b.St(isa.R8, 0, isa.R9)
+	b.Add(isa.R15, isa.R15, isa.R9)
+	b.Addi(isa.R8, isa.R8, 8)
+	b.Addi(isa.R7, isa.R7, 1)
+	b.Liu(isa.R16, molWords)
+	b.Bne(isa.R7, isa.R16, "mol")
+	// Reduce under the global lock.
+	b.Liu(isa.R7, lock)
+	EmitFutexLock(b, "wl", isa.R7)
+	b.Liu(isa.R8, global)
+	b.Ld(isa.R9, isa.R8, 0)
+	b.Add(isa.R9, isa.R9, isa.R15)
+	b.St(isa.R8, 0, isa.R9)
+	EmitFutexUnlock(b, "wl", isa.R7)
+	b.Liu(isa.R9, bar)
+	EmitBarrier(b, "wb", isa.R9)
+	b.Addi(isa.R5, isa.R5, 1)
+	b.Bne(isa.R5, isa.R6, "step")
+	b.Halt()
+
+	init := func(m *mem.Memory) {
+		for t := 0; t < threads; t++ {
+			for i := uint64(0); i < molWords; i++ {
+				m.Store(mols[t]+i*8, i^uint64(t*977+3))
+			}
+		}
+	}
+	prog := b.Build(lay.Size(), threads, init)
+	prog.Symbols["global"] = global
+	return prog
+}
+
+// WaterExpectedGlobal computes the deterministic final value of Water's
+// global accumulator.
+func WaterExpectedGlobal(molWords uint64, steps int64, threads int) uint64 {
+	var total uint64
+	for t := 0; t < threads; t++ {
+		mol := make([]uint64, molWords)
+		for i := range mol {
+			mol[i] = uint64(i) ^ uint64(t*977+3)
+		}
+		for s := int64(0); s < steps; s++ {
+			for i := range mol {
+				x := mol[i] * luMixMul
+				x ^= x >> 19
+				mol[i] = x
+				total += x
+			}
+		}
+	}
+	return total
+}
+
+// Volrend builds the read-sharing kernel: threads steal rays from a
+// shared cursor and march each through a large read-only voxel volume —
+// SPLASH-2 VOLREND's pattern of heavy concurrent read sharing, which
+// must NOT terminate chunks (read-read is no conflict). A per-ray output
+// slot plus a write syscall every few rays adds light kernel traffic.
+func Volrend(rays, voxelWords, stepsPerRay uint64, threads int) *isa.Program {
+	var lay mem.Layout
+	voxels := lay.AllocWords(voxelWords)
+	out := lay.AllocWords(rays)
+	cursor := lay.AllocWords(1)
+	bar := lay.AllocWords(2)
+
+	b := isa.NewBuilder("volrend")
+	b.Liu(isa.R30, rays)
+	b.Liu(isa.R31, voxelWords)
+	b.Li(isa.R15, 1)
+
+	b.Label("steal")
+	b.Liu(isa.R3, cursor)
+	b.Fadd(isa.R4, isa.R3, 0, isa.R15)
+	b.Bgeu(isa.R4, isa.R30, "done")
+	// March ray t: pos advances by a ray-dependent odd stride.
+	b.Muli(isa.R5, isa.R4, 2)
+	b.Addi(isa.R5, isa.R5, 1) // stride = 2t+1 (odd, cycles the volume)
+	b.Mov(isa.R6, isa.R4)     // pos = t
+	b.Li(isa.R7, 0)           // acc
+	b.Li(isa.R8, 0)           // k
+	b.Label("march")
+	b.Rem(isa.R9, isa.R6, isa.R31)
+	b.Shli(isa.R9, isa.R9, 3)
+	b.Liu(isa.R16, voxels)
+	b.Add(isa.R9, isa.R16, isa.R9)
+	b.Ld(isa.R16, isa.R9, 0)
+	b.Xor(isa.R7, isa.R7, isa.R16)
+	b.Add(isa.R7, isa.R7, isa.R8)
+	b.Add(isa.R6, isa.R6, isa.R5)
+	b.Addi(isa.R8, isa.R8, 1)
+	b.Liu(isa.R9, stepsPerRay)
+	b.Bne(isa.R8, isa.R9, "march")
+	// out[t] = acc
+	b.Shli(isa.R9, isa.R4, 3)
+	b.Liu(isa.R16, out)
+	b.Add(isa.R9, isa.R16, isa.R9)
+	b.St(isa.R9, 0, isa.R7)
+	// Progress beacon every 64th ray: write the ray id to fd 1.
+	b.Andi(isa.R9, isa.R4, 63)
+	b.Bne(isa.R9, isa.R0, "steal")
+	b.St(RegStack, 0, isa.R4)
+	b.Li(isa.RRet, int64(capo.SysWrite))
+	b.Li(isa.R11, 1)
+	b.Mov(isa.R12, RegStack)
+	b.Li(isa.R13, 8)
+	b.Syscall()
+	b.Jmp("steal")
+	b.Label("done")
+	b.Liu(isa.R9, bar)
+	EmitBarrier(b, "vb", isa.R9)
+	b.Halt()
+
+	init := func(m *mem.Memory) {
+		for i := uint64(0); i < voxelWords; i++ {
+			m.Store(voxels+i*8, i*2654435761+11)
+		}
+	}
+	prog := b.Build(lay.Size(), threads, init)
+	prog.Symbols["voxels"] = voxels
+	prog.Symbols["out"] = out
+	return prog
+}
+
+// VolrendReference computes the expected per-ray outputs.
+func VolrendReference(rays, voxelWords, stepsPerRay uint64) []uint64 {
+	vox := make([]uint64, voxelWords)
+	for i := range vox {
+		vox[i] = uint64(i)*2654435761 + 11
+	}
+	out := make([]uint64, rays)
+	for t := uint64(0); t < rays; t++ {
+		stride := 2*t + 1
+		pos := t
+		var acc uint64
+		for k := uint64(0); k < stepsPerRay; k++ {
+			acc ^= vox[pos%voxelWords]
+			acc += k
+			pos += stride
+		}
+		out[t] = acc
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// FMM builds the fast-multipole-like kernel: a quadtree of cells stored
+// level by level, with a barrier-separated upward pass (each cell
+// combines its four children, which other threads wrote) and a downward
+// pass (each cell reads its parent and siblings) — SPLASH-2 FMM's
+// hierarchical producer/consumer sharing. levels counts tree levels;
+// level l holds 4^l cells, owned cyclically by thread.
+func FMM(levels int, threads int) *isa.Program {
+	if levels < 2 || levels > 8 {
+		panic("workload: FMM needs 2..8 levels")
+	}
+	var lay mem.Layout
+	levelBase := make([]uint64, levels)
+	cells := make([]uint64, levels)
+	for l := 0; l < levels; l++ {
+		cells[l] = 1 << (2 * uint(l)) // 4^l
+		levelBase[l] = lay.AllocWords(cells[l])
+	}
+	// Scratch buffer for the downward pass's double buffering (sized for
+	// the largest level).
+	scratch := lay.AllocWords(cells[levels-1])
+	bar := lay.AllocWords(2)
+	p := uint64(threads)
+
+	b := isa.NewBuilder("fmm")
+	b.Liu(isa.R31, p)
+
+	// Upward pass: for l = levels-2 down to 0, each owned cell combines
+	// its four children from level l+1.
+	for l := levels - 2; l >= 0; l-- {
+		pfx := uniquePrefix("up", l)
+		b.Li(isa.R3, 0) // cell index c
+		b.Liu(isa.R30, cells[l])
+		b.Label(pfx + "_loop")
+		b.Bgeu(isa.R3, isa.R30, pfx+"_done")
+		b.Rem(isa.R4, isa.R3, isa.R31)
+		b.Bne(isa.R4, RegTID, pfx+"_next")
+		// children at level l+1: indices 4c..4c+3
+		b.Shli(isa.R5, isa.R3, 2)
+		b.Shli(isa.R5, isa.R5, 3)
+		b.Liu(isa.R6, levelBase[l+1])
+		b.Add(isa.R5, isa.R6, isa.R5) // &child[4c]
+		b.Ld(isa.R7, isa.R5, 0)
+		b.Ld(isa.R8, isa.R5, 8)
+		b.Add(isa.R7, isa.R7, isa.R8)
+		b.Ld(isa.R8, isa.R5, 16)
+		b.Add(isa.R7, isa.R7, isa.R8)
+		b.Ld(isa.R8, isa.R5, 24)
+		b.Add(isa.R7, isa.R7, isa.R8)
+		b.Muli(isa.R7, isa.R7, fftMixMul)
+		b.Shli(isa.R8, isa.R3, 3)
+		b.Liu(isa.R6, levelBase[l])
+		b.Add(isa.R8, isa.R6, isa.R8)
+		b.St(isa.R8, 0, isa.R7) // cell[l][c] = mix(sum of children)
+		b.Label(pfx + "_next")
+		b.Addi(isa.R3, isa.R3, 1)
+		b.Jmp(pfx + "_loop")
+		b.Label(pfx + "_done")
+		b.Liu(isa.R9, bar)
+		EmitBarrier(b, pfx+"_b", isa.R9)
+	}
+
+	// Downward pass: for l = 1..levels-1, each owned cell folds in its
+	// parent (level l-1) and its previous sibling within the level.
+	// Double-buffered through scratch so sibling reads see the pre-pass
+	// values regardless of schedule (the pass is race-free).
+	for l := 1; l < levels; l++ {
+		pfx := uniquePrefix("down", l)
+		b.Li(isa.R3, 0)
+		b.Liu(isa.R30, cells[l])
+		b.Label(pfx + "_loop")
+		b.Bgeu(isa.R3, isa.R30, pfx+"_done")
+		b.Rem(isa.R4, isa.R3, isa.R31)
+		b.Bne(isa.R4, RegTID, pfx+"_next")
+		b.Shri(isa.R5, isa.R3, 2) // parent index c/4
+		b.Shli(isa.R5, isa.R5, 3)
+		b.Liu(isa.R6, levelBase[l-1])
+		b.Add(isa.R5, isa.R6, isa.R5)
+		b.Ld(isa.R7, isa.R5, 0) // parent value
+		// previous sibling (c-1 mod cells) in this level
+		b.Addi(isa.R8, isa.R3, -1)
+		b.Addi(isa.R15, isa.R30, -1)
+		b.And(isa.R8, isa.R8, isa.R15) // cells is a power of 4: mask wraps
+		b.Shli(isa.R8, isa.R8, 3)
+		b.Liu(isa.R6, levelBase[l])
+		b.Add(isa.R8, isa.R6, isa.R8)
+		b.Ld(isa.R15, isa.R8, 0)
+		b.Xor(isa.R7, isa.R7, isa.R15)
+		b.Shli(isa.R8, isa.R3, 3)
+		b.Add(isa.R16, isa.R6, isa.R8)
+		b.Ld(isa.R15, isa.R16, 0)
+		b.Add(isa.R7, isa.R7, isa.R15)
+		b.Liu(isa.R16, scratch)
+		b.Add(isa.R16, isa.R16, isa.R8)
+		b.St(isa.R16, 0, isa.R7) // scratch[c] = cell + (parent ^ sibling)
+		b.Label(pfx + "_next")
+		b.Addi(isa.R3, isa.R3, 1)
+		b.Jmp(pfx + "_loop")
+		b.Label(pfx + "_done")
+		b.Liu(isa.R9, bar)
+		EmitBarrier(b, pfx+"_b", isa.R9)
+
+		// Publish: copy owned scratch cells into the level.
+		b.Li(isa.R3, 0)
+		b.Label(pfx + "_pub")
+		b.Bgeu(isa.R3, isa.R30, pfx+"_pubdone")
+		b.Rem(isa.R4, isa.R3, isa.R31)
+		b.Bne(isa.R4, RegTID, pfx+"_pubnext")
+		b.Shli(isa.R8, isa.R3, 3)
+		b.Liu(isa.R16, scratch)
+		b.Add(isa.R16, isa.R16, isa.R8)
+		b.Ld(isa.R7, isa.R16, 0)
+		b.Liu(isa.R6, levelBase[l])
+		b.Add(isa.R6, isa.R6, isa.R8)
+		b.St(isa.R6, 0, isa.R7)
+		b.Label(pfx + "_pubnext")
+		b.Addi(isa.R3, isa.R3, 1)
+		b.Jmp(pfx + "_pub")
+		b.Label(pfx + "_pubdone")
+		b.Liu(isa.R9, bar)
+		EmitBarrier(b, pfx+"_pb", isa.R9)
+	}
+	b.Halt()
+
+	init := func(m *mem.Memory) {
+		for l := 0; l < levels; l++ {
+			for c := uint64(0); c < cells[l]; c++ {
+				m.Store(levelBase[l]+c*8, c*uint64(l*1009+31)+7)
+			}
+		}
+	}
+	prog := b.Build(lay.Size(), threads, init)
+	prog.Symbols["level0"] = levelBase[0]
+	prog.Symbols["leaf"] = levelBase[levels-1]
+	return prog
+}
+
+// FMMReference computes FMM's expected per-level final arrays. The
+// downward pass's sibling reads see pre-pass values (the kernel double
+// buffers through scratch), so the snapshot semantics here match it
+// exactly for every schedule.
+func FMMReference(levels int, threads int) [][]uint64 {
+	cells := make([]uint64, levels)
+	base := make([][]uint64, levels)
+	for l := 0; l < levels; l++ {
+		cells[l] = 1 << (2 * uint(l))
+		base[l] = make([]uint64, cells[l])
+		for c := uint64(0); c < cells[l]; c++ {
+			base[l][c] = c*uint64(l*1009+31) + 7
+		}
+	}
+	for l := levels - 2; l >= 0; l-- {
+		for c := uint64(0); c < cells[l]; c++ {
+			sum := base[l+1][4*c] + base[l+1][4*c+1] + base[l+1][4*c+2] + base[l+1][4*c+3]
+			base[l][c] = sum * fftMixMul
+		}
+	}
+	for l := 1; l < levels; l++ {
+		prev := append([]uint64(nil), base[l]...) // pre-pass snapshot
+		for c := uint64(0); c < cells[l]; c++ {
+			sib := (c - 1) & (cells[l] - 1)
+			base[l][c] = prev[c] + (base[l-1][c/4] ^ prev[sib])
+		}
+	}
+	return base
+}

@@ -1,0 +1,161 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func TestFMMMatchesReference(t *testing.T) {
+	const levels, threads = 4, 4
+	want := workload.FMMReference(levels, threads)
+	for _, seed := range []uint64{31, 32, 33} {
+		prog := workload.FMM(levels, threads)
+		m := runNative(t, prog, threads, seed)
+		// Verify the root and the leaf level (ends of both passes).
+		if got := m.Memory().Load(prog.Symbol("level0")); got != want[0][0] {
+			t.Fatalf("seed %d: root = %#x, want %#x", seed, got, want[0][0])
+		}
+		leafBase := prog.Symbol("leaf")
+		for c := range want[levels-1] {
+			if got := m.Memory().Load(leafBase + uint64(c)*8); got != want[levels-1][c] {
+				t.Fatalf("seed %d: leaf[%d] = %#x, want %#x", seed, c, got, want[levels-1][c])
+			}
+		}
+	}
+}
+
+func TestFMMLevelValidation(t *testing.T) {
+	for _, levels := range []int{1, 9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FMM(%d) did not panic", levels)
+				}
+			}()
+			workload.FMM(levels, 2)
+		}()
+	}
+}
+
+func TestCholeskyMatchesReference(t *testing.T) {
+	const blocks, threads = 12, 4
+	want := workload.CholeskyReference(blocks)
+	// Task claiming races across seeds; the factorization must not.
+	for _, seed := range []uint64{41, 42} {
+		prog := workload.Cholesky(blocks, threads)
+		m := runNative(t, prog, threads, seed)
+		base := prog.Symbol("data")
+		for i := range want {
+			if got := m.Memory().Load(base + uint64(i)*8); got != want[i] {
+				t.Fatalf("seed %d: data[%d] = %#x, want %#x", seed, i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestRadiosityMatchesReference(t *testing.T) {
+	const patches, tasks, threads = 32, 256, 4
+	want := workload.RadiosityReference(patches, tasks)
+	prog := workload.Radiosity(patches, tasks, 10, threads)
+	m := runNative(t, prog, threads, 51)
+	base := prog.Symbol("scene")
+	for i := range want {
+		if got := m.Memory().Load(base + uint64(i)*64 + 8); got != want[i] {
+			t.Fatalf("patch %d energy = %d, want %d", i, got, want[i])
+		}
+		if lock := m.Memory().Load(base + uint64(i)*64); lock != 0 {
+			t.Fatalf("patch %d lock still held", i)
+		}
+	}
+}
+
+func TestNewKernelsRoundTripViaMachineModes(t *testing.T) {
+	// Functional equality across recording modes for the new kernels.
+	for _, name := range []string{"fmm", "cholesky", "radiosity"} {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("%s missing from suite", name)
+		}
+		prog := spec.Build(4)
+		var checksums []uint64
+		for _, mode := range []machine.RecordingMode{machine.ModeOff, machine.ModeFull} {
+			cfg := machine.DefaultConfig()
+			cfg.Mode = mode
+			cfg.Threads = 4
+			cfg.Seed = 5
+			res, err := machine.New(prog, cfg).Run()
+			if err != nil {
+				t.Fatalf("%s %v: %v", name, mode, err)
+			}
+			checksums = append(checksums, res.MemChecksum)
+		}
+		if checksums[0] != checksums[1] {
+			t.Errorf("%s: recording changed the execution", name)
+		}
+	}
+}
+
+func TestKVServerInvariants(t *testing.T) {
+	const reqs, buckets, threads = 80, 16, 4
+	prog := workload.KVServer(reqs, buckets, threads)
+	m := runNative(t, prog, threads, 61)
+	base := prog.Symbol("table")
+	var puts uint64
+	for i := uint64(0); i < buckets; i++ {
+		if lock := m.Memory().Load(base + i*64); lock != 0 {
+			t.Fatalf("bucket %d lock still held", i)
+		}
+		puts += m.Memory().Load(base + i*64 + 8)
+	}
+	// Each request is PUT or GET by one input bit: puts <= total and,
+	// with random ops, both kinds occur.
+	if puts == 0 || puts >= reqs*threads {
+		t.Errorf("puts = %d of %d requests; expected a mix", puts, reqs*threads)
+	}
+}
+
+func TestByteShareLanesIndependent(t *testing.T) {
+	const words, iters, threads = 32, 25, 4
+	prog := workload.ByteShare(words, iters, threads)
+	m := runNative(t, prog, threads, 71)
+	base := prog.Symbol("arr")
+	want := workload.ByteShareExpected(iters)
+	for w := uint64(0); w < words; w++ {
+		word := m.Memory().Load(base + w*8)
+		for lane := 0; lane < threads; lane++ {
+			got := byte(word >> (8 * lane))
+			if got != want {
+				t.Fatalf("word %d lane %d = %d, want %d (byte stores interfered)", w, lane, got, want)
+			}
+		}
+	}
+}
+
+func TestScaledSuiteRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, scale := range []uint64{2, 4} {
+		for _, spec := range workload.ScaledSuite(scale) {
+			if spec.Kind != "splash" {
+				continue
+			}
+			prog := spec.Build(4)
+			cfg := machine.DefaultConfig()
+			cfg.Threads = 4
+			cfg.Seed = scale
+			if _, err := machine.New(prog, cfg).Run(); err != nil {
+				t.Fatalf("scale %d %s: %v", scale, spec.Name, err)
+			}
+		}
+	}
+	// Scale 1 passes through to the default suite.
+	if len(workload.ScaledSuite(1)) != len(workload.Suite()) {
+		t.Error("scale 1 differs from default suite")
+	}
+	if len(workload.ScaledSuite(0)) != len(workload.Suite()) {
+		t.Error("scale 0 not treated as default")
+	}
+}

@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// choleskyBlockWords returns cholesky's irregular block sizes: sparse
+// supernodes vary widely, unlike LU's uniform tiles.
+func choleskyBlockWords(blocks uint64) []uint64 {
+	sizes := make([]uint64, blocks)
+	for j := range sizes {
+		sizes[j] = 160 + (uint64(j)*61)%256
+	}
+	return sizes
+}
+
+// Cholesky builds the sparse-factorization-like kernel: blocked
+// elimination like LU, but with irregular block sizes read from an
+// in-memory descriptor table and *dynamically claimed* trailing updates
+// (threads race fetch-adds on a per-step cursor) — SPLASH-2 CHOLESKY's
+// combination of irregular supernodes and task-queue load balancing.
+// Which thread performs an update is schedule-dependent; the data result
+// is not.
+func Cholesky(blocks uint64, threads int) *isa.Program {
+	sizes := choleskyBlockWords(blocks)
+	var lay mem.Layout
+	offTab := lay.AllocWords(blocks)  // byte offset of each block
+	sizeTab := lay.AllocWords(blocks) // word count of each block
+	cursors := lay.AllocWords(blocks) // per-step steal cursor, init k+1
+	blockOff := make([]uint64, blocks)
+	var total uint64
+	for j := range sizes {
+		blockOff[j] = total
+		total += sizes[j]
+	}
+	data := lay.AllocWords(total)
+	bar := lay.AllocWords(2)
+	p := uint64(threads)
+
+	b := isa.NewBuilder("cholesky")
+	b.Liu(isa.R30, blocks)
+	b.Liu(isa.R31, p)
+	b.Li(isa.R3, 0) // k
+
+	b.Label("kloop")
+	// Owner updates diagonal block k: diag[i] = mix(diag[i]).
+	b.Rem(isa.R4, isa.R3, isa.R31)
+	b.Bne(isa.R4, RegTID, "skipdiag")
+	b.Shli(isa.R4, isa.R3, 3)
+	b.Liu(isa.R5, offTab)
+	b.Add(isa.R5, isa.R5, isa.R4)
+	b.Ld(isa.R5, isa.R5, 0) // diag byte offset
+	b.Liu(isa.R6, data)
+	b.Add(isa.R5, isa.R5, isa.R6) // diag base
+	b.Liu(isa.R6, sizeTab)
+	b.Add(isa.R6, isa.R6, isa.R4)
+	b.Ld(isa.R6, isa.R6, 0) // diag words
+	b.Li(isa.R7, 0)
+	b.Label("diag")
+	b.Ld(isa.R8, isa.R5, 0)
+	b.Muli(isa.R8, isa.R8, luMixMul)
+	b.Shri(isa.R9, isa.R8, 17)
+	b.Xor(isa.R8, isa.R8, isa.R9)
+	b.St(isa.R5, 0, isa.R8)
+	b.Addi(isa.R5, isa.R5, 8)
+	b.Addi(isa.R7, isa.R7, 1)
+	b.Bne(isa.R7, isa.R6, "diag")
+	b.Label("skipdiag")
+	b.Liu(isa.R9, bar)
+	EmitBarrier(b, "cb1", isa.R9)
+
+	// Trailing updates claimed dynamically: j = cursor[k]++ while j < B.
+	b.Li(isa.R15, 1)
+	b.Label("steal")
+	b.Shli(isa.R4, isa.R3, 3)
+	b.Liu(isa.R5, cursors)
+	b.Add(isa.R5, isa.R5, isa.R4)
+	b.Fadd(isa.R7, isa.R5, 0, isa.R15) // j
+	b.Bgeu(isa.R7, isa.R30, "stealdone")
+	// diag base/size for k.
+	b.Liu(isa.R5, offTab)
+	b.Add(isa.R5, isa.R5, isa.R4)
+	b.Ld(isa.R16, isa.R5, 0)
+	b.Liu(isa.R6, data)
+	b.Add(isa.R16, isa.R16, isa.R6) // diag base
+	b.Liu(isa.R5, sizeTab)
+	b.Add(isa.R5, isa.R5, isa.R4)
+	b.Ld(isa.R17, isa.R5, 0) // diag words
+	// block j base/size.
+	b.Shli(isa.R4, isa.R7, 3)
+	b.Liu(isa.R5, offTab)
+	b.Add(isa.R5, isa.R5, isa.R4)
+	b.Ld(isa.R18, isa.R5, 0)
+	b.Add(isa.R18, isa.R18, isa.R6) // block base
+	b.Liu(isa.R5, sizeTab)
+	b.Add(isa.R5, isa.R5, isa.R4)
+	b.Ld(isa.R19, isa.R5, 0) // block words
+	// for i in 0..bw-1: blk[i] ^= mix(diag[i % dw])
+	b.Li(isa.R8, 0)
+	b.Label("fold")
+	b.Rem(isa.R9, isa.R8, isa.R17)
+	b.Shli(isa.R9, isa.R9, 3)
+	b.Add(isa.R9, isa.R16, isa.R9)
+	b.Ld(isa.R9, isa.R9, 0)
+	b.Muli(isa.R9, isa.R9, luMixMul)
+	b.Shri(isa.R5, isa.R9, 11)
+	b.Xor(isa.R9, isa.R9, isa.R5)
+	b.Shli(isa.R5, isa.R8, 3)
+	b.Add(isa.R5, isa.R18, isa.R5)
+	b.Ld(isa.R6, isa.R5, 0)
+	b.Xor(isa.R6, isa.R6, isa.R9)
+	b.St(isa.R5, 0, isa.R6)
+	b.Addi(isa.R8, isa.R8, 1)
+	b.Bne(isa.R8, isa.R19, "fold")
+	b.Jmp("steal") // every claim re-derives its bases
+	b.Label("stealdone")
+	b.Liu(isa.R9, bar)
+	EmitBarrier(b, "cb2", isa.R9)
+
+	b.Addi(isa.R3, isa.R3, 1)
+	b.Bne(isa.R3, isa.R30, "kloop")
+	b.Halt()
+
+	init := func(m *mem.Memory) {
+		for j := uint64(0); j < blocks; j++ {
+			m.Store(offTab+j*8, blockOff[j]*8)
+			m.Store(sizeTab+j*8, sizes[j])
+			m.Store(cursors+j*8, j+1)
+		}
+		for i := uint64(0); i < total; i++ {
+			m.Store(data+i*8, i*29+3)
+		}
+	}
+	prog := b.Build(lay.Size(), threads, init)
+	prog.Symbols["data"] = data
+	return prog
+}
+
+// CholeskyReference computes the expected final data array.
+func CholeskyReference(blocks uint64) []uint64 {
+	sizes := choleskyBlockWords(blocks)
+	blockOff := make([]uint64, blocks)
+	var total uint64
+	for j := range sizes {
+		blockOff[j] = total
+		total += sizes[j]
+	}
+	data := make([]uint64, total)
+	for i := range data {
+		data[i] = uint64(i)*29 + 3
+	}
+	for k := uint64(0); k < blocks; k++ {
+		diag := data[blockOff[k] : blockOff[k]+sizes[k]]
+		for i := range diag {
+			x := diag[i] * luMixMul
+			x ^= x >> 17
+			diag[i] = x
+		}
+		for j := k + 1; j < blocks; j++ {
+			blk := data[blockOff[j] : blockOff[j]+sizes[j]]
+			for i := range blk {
+				x := diag[uint64(i)%sizes[k]] * luMixMul
+				x ^= x >> 11
+				blk[i] ^= x
+			}
+		}
+	}
+	return data
+}
+
+// Radiosity builds the iterative-refinement-like kernel: a shared queue
+// of energy-transfer tasks, each computing a "form factor" privately
+// (formSteps mixing iterations) and then adding a task-determined amount
+// to a pseudo-randomly chosen patch under that patch's futex lock —
+// SPLASH-2 RADIOSITY's dynamic tasking over fine-grained locked scene
+// state. Task-to-thread assignment races; per-patch sums do not.
+func Radiosity(patches, tasks, formSteps uint64, threads int) *isa.Program {
+	var lay mem.Layout
+	scene := lay.AllocWords(patches * 8) // one line per patch: [lock, energy, ...]
+	cursor := lay.AllocWords(1)
+	bar := lay.AllocWords(2)
+
+	b := isa.NewBuilder("radiosity")
+	b.Liu(isa.R30, tasks)
+	b.Liu(isa.R31, patches)
+	b.Liu(isa.R28, 0x9E3779B97F4A7C15)
+	b.Li(isa.R15, 1)
+
+	b.Label("steal")
+	b.Liu(isa.R3, cursor)
+	b.Fadd(isa.R4, isa.R3, 0, isa.R15) // t
+	b.Bgeu(isa.R4, isa.R30, "done")
+	// target = mix(t) % patches; delta = t*3 + 1
+	b.Mul(isa.R5, isa.R4, isa.R28)
+	b.Shri(isa.R6, isa.R5, 31)
+	b.Xor(isa.R5, isa.R5, isa.R6)
+	b.Rem(isa.R5, isa.R5, isa.R31)
+	b.Muli(isa.R5, isa.R5, 64)
+	b.Liu(isa.R6, scene)
+	b.Add(isa.R5, isa.R6, isa.R5) // patch base (lock word)
+	// Private form-factor computation before touching shared state.
+	b.Mov(isa.R7, isa.R4)
+	b.Li(isa.R8, 0)
+	b.Liu(isa.R9, formSteps)
+	b.Label("form")
+	b.Muli(isa.R7, isa.R7, luMixMul)
+	b.Shri(isa.R16, isa.R7, 13)
+	b.Xor(isa.R7, isa.R7, isa.R16)
+	b.Addi(isa.R8, isa.R8, 1)
+	b.Bne(isa.R8, isa.R9, "form")
+	b.Muli(isa.R7, isa.R4, 3)
+	b.Addi(isa.R7, isa.R7, 1) // delta (task-determined, schedule-free)
+	EmitFutexLock(b, "rp", isa.R5)
+	b.Ld(isa.R8, isa.R5, 8)
+	b.Add(isa.R8, isa.R8, isa.R7)
+	b.St(isa.R5, 8, isa.R8)
+	EmitFutexUnlock(b, "rp", isa.R5)
+	b.Jmp("steal")
+	b.Label("done")
+	b.Liu(isa.R9, bar)
+	EmitBarrier(b, "rdb", isa.R9)
+	b.Halt()
+
+	prog := b.Build(lay.Size(), threads, nil)
+	prog.Symbols["scene"] = scene
+	return prog
+}
+
+// RadiosityReference computes the expected per-patch energies.
+func RadiosityReference(patches, tasks uint64) []uint64 {
+	out := make([]uint64, patches)
+	for t := uint64(0); t < tasks; t++ {
+		x := t * 0x9E3779B97F4A7C15
+		x ^= x >> 31
+		out[x%patches] += t*3 + 1
+	}
+	return out
+}

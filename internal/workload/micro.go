@@ -1,0 +1,344 @@
+package workload
+
+import (
+	"repro/internal/capo"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Microbenchmarks: minimal programs that each isolate one recording
+// behaviour (conflict chunking, kernel input logging, REP splitting,
+// private computation). The SPLASH-2-like kernels live in kernels.go.
+
+// Counter builds the contended-atomic microbenchmark: every thread
+// fetch-adds a single shared word iters times, barriers, and thread 0
+// writes the total to fd 1. Maximum inter-thread conflict density.
+func Counter(iters int64, threads int) *isa.Program {
+	var lay mem.Layout
+	counter := lay.AllocWords(1)
+	barrier := lay.AllocWords(2)
+
+	b := isa.NewBuilder("counter")
+	b.Liu(isa.R3, counter)
+	b.Li(isa.R4, 0)
+	b.Li(isa.R5, iters)
+	b.Li(isa.R6, 1)
+	b.Label("loop")
+	b.Fadd(isa.R7, isa.R3, 0, isa.R6)
+	b.Addi(isa.R4, isa.R4, 1)
+	b.Bne(isa.R4, isa.R5, "loop")
+	b.Liu(isa.R8, barrier)
+	EmitBarrier(b, "b0", isa.R8)
+	emitWriteWord(b, isa.R3, "skipwrite")
+	b.Halt()
+
+	prog := b.Build(lay.Size(), threads, nil)
+	prog.Symbols["counter"] = counter
+	return prog
+}
+
+// emitWriteWord makes thread 0 write the 8-byte word at [srcAddrReg] to
+// fd 1; other threads jump to skipLabel.
+func emitWriteWord(b *isa.Builder, srcAddrReg isa.Reg, skipLabel string) {
+	b.Bne(RegTID, isa.R0, skipLabel)
+	b.Ld(isa.R9, srcAddrReg, 0)
+	b.St(RegStack, 0, isa.R9)
+	b.Li(isa.RRet, int64(capo.SysWrite))
+	b.Li(isa.R11, 1)
+	b.Mov(isa.R12, RegStack)
+	b.Li(isa.R13, 8)
+	b.Syscall()
+	b.Label(skipLabel)
+}
+
+// Mutex builds the lock-contention microbenchmark: threads increment a
+// shared word non-atomically inside a futex mutex. Exercises kernel
+// futex paths and lock-ordering recording.
+func Mutex(iters int64, threads int) *isa.Program {
+	var lay mem.Layout
+	lock := lay.AllocWords(1)
+	shared := lay.AllocWords(1)
+	barrier := lay.AllocWords(2)
+
+	b := isa.NewBuilder("mutex")
+	b.Liu(isa.R3, lock)
+	b.Liu(isa.R4, shared)
+	b.Li(isa.R5, 0)
+	b.Li(isa.R7, iters)
+	b.Label("loop")
+	EmitFutexLock(b, "l", isa.R3)
+	b.Ld(isa.R6, isa.R4, 0)
+	b.Addi(isa.R6, isa.R6, 1)
+	b.St(isa.R4, 0, isa.R6)
+	EmitFutexUnlock(b, "l", isa.R3)
+	b.Addi(isa.R5, isa.R5, 1)
+	b.Bne(isa.R5, isa.R7, "loop")
+	b.Liu(isa.R8, barrier)
+	EmitBarrier(b, "b0", isa.R8)
+	emitWriteWord(b, isa.R4, "skipwrite")
+	b.Halt()
+
+	prog := b.Build(lay.Size(), threads, nil)
+	prog.Symbols["shared"] = shared
+	return prog
+}
+
+// Pingpong builds the false-sharing-style microbenchmark: pairs of
+// threads alternately write words on the same cache line, maximising
+// coherence ping-ponging (WAW/WAR conflicts) without atomics.
+func Pingpong(iters int64, threads int) *isa.Program {
+	var lay mem.Layout
+	line := lay.AllocWords(8) // one cache line shared by all threads
+	barrier := lay.AllocWords(2)
+
+	b := isa.NewBuilder("pingpong")
+	// Each thread writes word (tid % 8) of the shared line, then reads a
+	// neighbour's word.
+	b.Liu(isa.R3, line)
+	b.Andi(isa.R4, RegTID, 7)
+	b.Shli(isa.R4, isa.R4, 3)
+	b.Add(isa.R3, isa.R3, isa.R4) // &line[tid%8]
+	b.Liu(isa.R5, line)
+	b.Addi(isa.R6, RegTID, 1)
+	b.Andi(isa.R6, isa.R6, 7)
+	b.Shli(isa.R6, isa.R6, 3)
+	b.Add(isa.R5, isa.R5, isa.R6) // &line[(tid+1)%8]
+	b.Li(isa.R7, 0)
+	b.Li(isa.R8, iters)
+	b.Label("loop")
+	b.St(isa.R3, 0, isa.R7)
+	b.Ld(isa.R9, isa.R5, 0)
+	b.Addi(isa.R7, isa.R7, 1)
+	b.Bne(isa.R7, isa.R8, "loop")
+	b.Liu(isa.R9, barrier)
+	EmitBarrier(b, "b0", isa.R9)
+	b.Halt()
+	return b.Build(lay.Size(), threads, nil)
+}
+
+// Private builds the no-sharing microbenchmark: each thread sums over a
+// private array. Chunks should terminate almost exclusively on CTR
+// saturation — the paper's best case.
+func Private(words uint64, threads int) *isa.Program {
+	var lay mem.Layout
+	arrays := make([]uint64, threads)
+	for t := range arrays {
+		arrays[t] = lay.AllocWords(words)
+	}
+	base := arrays[0]
+	stride := uint64(0)
+	if threads > 1 {
+		stride = arrays[1] - arrays[0]
+	}
+
+	b := isa.NewBuilder("private")
+	b.Liu(isa.R3, base)
+	b.Liu(isa.R4, stride)
+	b.Mul(isa.R4, RegTID, isa.R4)
+	b.Add(isa.R3, isa.R3, isa.R4) // this thread's array
+	b.Li(isa.R5, 0)               // index
+	b.Liu(isa.R6, words)
+	b.Li(isa.R7, 0) // sum
+	b.Label("loop")
+	b.Ld(isa.R8, isa.R3, 0)
+	b.Add(isa.R7, isa.R7, isa.R8)
+	b.St(isa.R3, 0, isa.R7) // write back running sum (private traffic)
+	b.Addi(isa.R3, isa.R3, 8)
+	b.Addi(isa.R5, isa.R5, 1)
+	b.Bne(isa.R5, isa.R6, "loop")
+	b.Halt()
+
+	init := func(m *mem.Memory) {
+		for t := 0; t < threads; t++ {
+			for i := uint64(0); i < words; i++ {
+				m.Store(arrays[t]+i*8, i+uint64(t))
+			}
+		}
+	}
+	return b.Build(lay.Size(), threads, init)
+}
+
+// IOHeavy builds the input-logging stress microbenchmark: threads loop
+// reading external data into a private buffer and writing it back out.
+// The input log dominates total log volume, the paper's worst case for
+// the software stack.
+func IOHeavy(iters int64, bufWords uint64, threads int) *isa.Program {
+	var lay mem.Layout
+	bufs := make([]uint64, threads)
+	for t := range bufs {
+		bufs[t] = lay.AllocWords(bufWords)
+	}
+	base := bufs[0]
+	stride := uint64(0)
+	if threads > 1 {
+		stride = bufs[1] - bufs[0]
+	}
+
+	b := isa.NewBuilder("ioheavy")
+	b.Liu(isa.R3, base)
+	b.Liu(isa.R4, stride)
+	b.Mul(isa.R4, RegTID, isa.R4)
+	b.Add(isa.R3, isa.R3, isa.R4)
+	b.Li(isa.R5, 0)
+	b.Li(isa.R6, iters)
+	b.Label("loop")
+	b.Li(isa.RRet, int64(capo.SysRead))
+	b.Li(isa.R11, 0)
+	b.Mov(isa.R12, isa.R3)
+	b.Liu(isa.R13, bufWords*8)
+	b.Syscall()
+	b.Li(isa.RRet, int64(capo.SysWrite))
+	b.Li(isa.R11, 1)
+	b.Mov(isa.R12, isa.R3)
+	b.Liu(isa.R13, bufWords*8)
+	b.Syscall()
+	b.Addi(isa.R5, isa.R5, 1)
+	b.Bne(isa.R5, isa.R6, "loop")
+	b.Halt()
+	return b.Build(lay.Size(), threads, nil)
+}
+
+// RepCopy builds the string-instruction microbenchmark: even threads
+// REPMOVS a large shared region while odd threads race reads and writes
+// over the destination, folding every racy observation into a stored
+// checksum. Chunk boundaries land inside REP instructions, and the
+// observers make the final state sensitive to the exact split point —
+// the property experiment A3's residue ablation demonstrates.
+func RepCopy(words uint64, threads int) *isa.Program {
+	probes := words / 64
+	var lay mem.Layout
+	src := lay.AllocWords(words)
+	dst := lay.AllocWords(words)
+	probe := lay.AllocWords(probes * uint64(threads))
+	barrier := lay.AllocWords(2)
+
+	b := isa.NewBuilder("repcopy")
+	b.Andi(isa.R3, RegTID, 1)
+	b.Bne(isa.R3, isa.R0, "scribbler")
+
+	b.Liu(isa.R4, dst)
+	b.Liu(isa.R5, src)
+	b.Liu(isa.R6, words)
+	b.RepMovs(isa.R4, isa.R5, isa.R6)
+	b.Jmp("join")
+
+	b.Label("scribbler")
+	b.Liu(isa.R4, dst)
+	b.Li(isa.R5, 0)
+	b.Liu(isa.R6, probes)
+	b.Li(isa.R7, 0) // racy-observation checksum
+	b.Liu(isa.R8, probes*8)
+	b.Mul(isa.R8, RegTID, isa.R8)
+	b.Liu(isa.R15, probe)
+	b.Add(isa.R8, isa.R8, isa.R15) // this thread's probe row
+	b.Label("scribble_loop")
+	b.Ld(isa.R16, isa.R4, 0) // racy read of in-flight copy state
+	b.Muli(isa.R7, isa.R7, 3)
+	b.Add(isa.R7, isa.R7, isa.R16)
+	b.St(isa.R8, 0, isa.R7) // record the observation
+	b.St(isa.R4, 0, isa.R5) // racy write back into the copy range
+	b.Addi(isa.R4, isa.R4, 512)
+	b.Addi(isa.R8, isa.R8, 8)
+	b.Addi(isa.R5, isa.R5, 1)
+	b.Bne(isa.R5, isa.R6, "scribble_loop")
+
+	b.Label("join")
+	b.Liu(isa.R9, barrier)
+	EmitBarrier(b, "b0", isa.R9)
+	b.Halt()
+
+	init := func(m *mem.Memory) {
+		for i := uint64(0); i < words; i++ {
+			m.Store(src+i*8, i*3+1)
+		}
+	}
+	prog := b.Build(lay.Size(), threads, init)
+	prog.Symbols["src"] = src
+	prog.Symbols["dst"] = dst
+	prog.Symbols["probe"] = probe
+	return prog
+}
+
+// SignalLoop builds the async-signal microbenchmark: worker threads spin
+// on private counters while the machine delivers signals whose handler
+// bumps a shared word. Thread 0 registers the handler first and all
+// threads synchronize before working, so delivery can target any thread.
+func SignalLoop(iters int64, threads int) *isa.Program {
+	var lay mem.Layout
+	sigCount := lay.AllocWords(1)
+	barrier := lay.AllocWords(2)
+
+	b := isa.NewBuilder("signalloop")
+	b.Bne(RegTID, isa.R0, "wait")
+	b.LiLabel(isa.R11, "handler")
+	b.Li(isa.RRet, int64(capo.SysSigHandler))
+	b.Syscall()
+	b.Label("wait")
+	b.Liu(isa.R9, barrier)
+	EmitBarrier(b, "b0", isa.R9)
+	b.Li(isa.R3, 0)
+	b.Li(isa.R4, iters)
+	b.Label("loop")
+	b.Addi(isa.R3, isa.R3, 1)
+	b.Bne(isa.R3, isa.R4, "loop")
+	b.Halt()
+
+	b.Label("handler")
+	b.Liu(isa.R20, sigCount)
+	b.Li(isa.R21, 1)
+	b.Fadd(isa.R22, isa.R20, 0, isa.R21)
+	b.Li(isa.RRet, int64(capo.SysSigReturn))
+	b.Syscall() // sigreturn restores the interrupted frame; no code follows
+
+	prog := b.Build(lay.Size(), threads, nil)
+	prog.Symbols["sigcount"] = sigCount
+	return prog
+}
+
+// ByteShare builds the sub-word false-sharing microbenchmark: each
+// thread owns one BYTE of every word in a shared array and repeatedly
+// read-modify-writes it with byte loads/stores. Byte-granular ownership
+// inside a single word is invisible to cache-line-granularity conflict
+// detection, so the recorder sees (and must order) constant WAW/RAW
+// traffic even though no thread ever touches another's data — the
+// paper's conservative-detection worst case at the finest granularity.
+func ByteShare(words uint64, iters int64, threads int) *isa.Program {
+	if threads > 8 {
+		threads = 8 // one byte lane per thread
+	}
+	var lay mem.Layout
+	arr := lay.AllocWords(words)
+	bar := lay.AllocWords(2)
+
+	b := isa.NewBuilder("byteshare")
+	// lane address of word w = arr + w*8 + (tid % 8)
+	b.Andi(isa.R3, RegTID, 7)
+	b.Liu(isa.R4, arr)
+	b.Add(isa.R3, isa.R3, isa.R4) // &arr[0] + lane
+	b.Li(isa.R5, 0)               // iteration
+	b.Li(isa.R6, iters)
+	b.Label("iter")
+	b.Mov(isa.R7, isa.R3)
+	b.Li(isa.R8, 0)
+	b.Liu(isa.R9, words)
+	b.Label("sweep")
+	b.Lbu(isa.R15, isa.R7, 0)
+	b.Addi(isa.R15, isa.R15, 1)
+	b.Sb(isa.R7, 0, isa.R15)
+	b.Addi(isa.R7, isa.R7, 8)
+	b.Addi(isa.R8, isa.R8, 1)
+	b.Bne(isa.R8, isa.R9, "sweep")
+	b.Addi(isa.R5, isa.R5, 1)
+	b.Bne(isa.R5, isa.R6, "iter")
+	b.Liu(isa.R9, bar)
+	EmitBarrier(b, "bs", isa.R9)
+	b.Halt()
+
+	prog := b.Build(lay.Size(), threads, nil)
+	prog.Symbols["arr"] = arr
+	return prog
+}
+
+// ByteShareExpected returns the expected final byte value in every
+// thread's lane: iters increments per sweep word, mod 256.
+func ByteShareExpected(iters int64) byte { return byte(iters) }

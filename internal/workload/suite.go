@@ -1,0 +1,210 @@
+package workload
+
+import "repro/internal/isa"
+
+// Spec describes one benchmark in the evaluation suite.
+type Spec struct {
+	// Name identifies the workload in reports (matches the SPLASH-2
+	// namesake where applicable).
+	Name string
+	// Kind is "splash" for the SPLASH-2-like kernels, "micro" for the
+	// microbenchmarks, or "app" for application-style workloads.
+	Kind string
+	// Description says what behaviour the workload exercises.
+	Description string
+	// Build constructs the program for the given thread count.
+	Build func(threads int) *isa.Program
+}
+
+// SplashSuite returns the SPLASH-2-like kernels at the standard sizes
+// the experiments use. Sizes are chosen so the full suite runs in
+// seconds under `go test` while still retiring hundreds of thousands of
+// instructions per benchmark.
+func SplashSuite() []Spec {
+	return []Spec{
+		{
+			Name: "barnes", Kind: "splash",
+			Description: "irregular per-node futex locking over a shared tree",
+			Build:       func(t int) *isa.Program { return Barnes(256, 400, t) },
+		},
+		{
+			Name: "cholesky", Kind: "splash",
+			Description: "irregular supernodes with dynamically claimed trailing updates",
+			Build:       func(t int) *isa.Program { return Cholesky(10, t) },
+		},
+		{
+			Name: "fft", Kind: "splash",
+			Description: "barrier phases with all-to-all strided transpose reads",
+			Build:       func(t int) *isa.Program { return FFT(8192, 5, t) },
+		},
+		{
+			Name: "fmm", Kind: "splash",
+			Description: "hierarchical upward/downward tree passes with level barriers",
+			Build:       func(t int) *isa.Program { return FMM(7, t) },
+		},
+		{
+			Name: "lu", Kind: "splash",
+			Description: "blocked elimination; one producer, many consumers per step",
+			Build:       func(t int) *isa.Program { return LU(16, 256, t) },
+		},
+		{
+			Name: "ocean", Kind: "splash",
+			Description: "banded grid stencil with neighbour-row communication",
+			Build:       func(t int) *isa.Program { return Ocean(32, 128, 6, t) },
+		},
+		{
+			Name: "radix", Kind: "splash",
+			Description: "atomic shared histograms and racing scatter permutation",
+			Build:       func(t int) *isa.Program { return Radix(4096, t) },
+		},
+		{
+			Name: "radiosity", Kind: "splash",
+			Description: "dynamic task queue over fine-grained locked scene patches",
+			Build:       func(t int) *isa.Program { return Radiosity(128, 384, 60, t) },
+		},
+		{
+			Name: "raytrace", Kind: "splash",
+			Description: "work stealing from a shared cursor, read-only scene",
+			Build:       func(t int) *isa.Program { return Raytrace(256, 1024, 64, t) },
+		},
+		{
+			Name: "volrend", Kind: "splash",
+			Description: "heavy concurrent read sharing plus light output syscalls",
+			Build:       func(t int) *isa.Program { return Volrend(256, 2048, 48, t) },
+		},
+		{
+			Name: "water", Kind: "splash",
+			Description: "mostly-private compute with per-step locked reduction",
+			Build:       func(t int) *isa.Program { return Water(1024, 8, t) },
+		},
+	}
+}
+
+// MicroSuite returns the microbenchmarks at standard sizes.
+func MicroSuite() []Spec {
+	return []Spec{
+		{
+			Name: "counter", Kind: "micro",
+			Description: "maximum-contention shared atomic counter",
+			Build:       func(t int) *isa.Program { return Counter(2000, t) },
+		},
+		{
+			Name: "pingpong", Kind: "micro",
+			Description: "false-sharing line ping-pong",
+			Build:       func(t int) *isa.Program { return Pingpong(2000, t) },
+		},
+		{
+			Name: "private", Kind: "micro",
+			Description: "no sharing; chunks end only on CTR/capacity events",
+			Build:       func(t int) *isa.Program { return Private(8192, t) },
+		},
+		{
+			Name: "ioheavy", Kind: "micro",
+			Description: "input-log stress: read/write syscall loop",
+			Build:       func(t int) *isa.Program { return IOHeavy(40, 128, t) },
+		},
+		{
+			Name: "byteshare", Kind: "micro",
+			Description: "per-thread byte lanes inside shared words: sub-word false sharing",
+			Build:       func(t int) *isa.Program { return ByteShare(64, 40, t) },
+		},
+		{
+			Name: "repcopy", Kind: "micro",
+			Description: "REP string copies split by conflicting writers",
+			Build:       func(t int) *isa.Program { return RepCopy(8192, t) },
+		},
+	}
+}
+
+// AppSuite returns application-style workloads beyond the paper's
+// benchmark suite: the always-on service scenarios RnR targets.
+func AppSuite() []Spec {
+	return []Spec{
+		{
+			Name: "kvserver", Kind: "app",
+			Description: "worker threads service external requests against a bucket-locked KV table",
+			Build:       func(t int) *isa.Program { return KVServer(120, 32, t) },
+		},
+	}
+}
+
+// Suite returns the full evaluation suite: SPLASH-2-like kernels, then
+// microbenchmarks, then application workloads.
+func Suite() []Spec { return append(append(SplashSuite(), MicroSuite()...), AppSuite()...) }
+
+// ByName returns the named workload spec, or false.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Suite() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// ScaledSuite returns the evaluation suite with workload inputs grown by
+// the given factor (1 = the default sizes used in tests). Larger scales
+// approach the paper's input regime: more instructions between
+// synchronization events, longer chunks, and lower per-instruction log
+// rates. Scales beyond ~16 make a full sweep take minutes.
+func ScaledSuite(scale uint64) []Spec {
+	if scale <= 1 {
+		return Suite()
+	}
+	s := int64(scale)
+	u := scale
+	specs := []Spec{
+		{Name: "barnes", Kind: "splash",
+			Description: "irregular per-node futex locking over a shared tree",
+			Build:       func(t int) *isa.Program { return Barnes(256*u, 400*s, t) }},
+		{Name: "cholesky", Kind: "splash",
+			Description: "irregular supernodes with dynamically claimed trailing updates",
+			Build:       func(t int) *isa.Program { return Cholesky(10+2*(u-1), t) }},
+		{Name: "fft", Kind: "splash",
+			Description: "barrier phases with all-to-all strided transpose reads",
+			Build:       func(t int) *isa.Program { return FFT(8192*u, 5, t) }},
+		{Name: "fmm", Kind: "splash",
+			Description: "hierarchical upward/downward tree passes with level barriers",
+			Build:       func(t int) *isa.Program { return FMM(min8(7+levelsFor(u)), t) }},
+		{Name: "lu", Kind: "splash",
+			Description: "blocked elimination; one producer, many consumers per step",
+			Build:       func(t int) *isa.Program { return LU(16, 256*u, t) }},
+		{Name: "ocean", Kind: "splash",
+			Description: "banded grid stencil with neighbour-row communication",
+			Build:       func(t int) *isa.Program { return Ocean(32, 128*u, 6, t) }},
+		{Name: "radix", Kind: "splash",
+			Description: "atomic shared histograms and racing scatter permutation",
+			Build:       func(t int) *isa.Program { return Radix(4096*u, t) }},
+		{Name: "radiosity", Kind: "splash",
+			Description: "dynamic task queue over fine-grained locked scene patches",
+			Build:       func(t int) *isa.Program { return Radiosity(128, 384*u, 60*u, t) }},
+		{Name: "raytrace", Kind: "splash",
+			Description: "work stealing from a shared cursor, read-only scene",
+			Build:       func(t int) *isa.Program { return Raytrace(256*u, 1024, 64*u, t) }},
+		{Name: "volrend", Kind: "splash",
+			Description: "heavy concurrent read sharing plus light output syscalls",
+			Build:       func(t int) *isa.Program { return Volrend(256*u, 2048, 48*u, t) }},
+		{Name: "water", Kind: "splash",
+			Description: "mostly-private compute with per-step locked reduction",
+			Build:       func(t int) *isa.Program { return Water(1024*u, 8, t) }},
+	}
+	specs = append(specs, MicroSuite()...)
+	return append(specs, AppSuite()...)
+}
+
+// levelsFor grows the FMM tree slowly with scale (each level quadruples
+// the leaf count).
+func levelsFor(scale uint64) int {
+	extra := 0
+	for s := scale; s >= 4; s /= 4 {
+		extra++
+	}
+	return extra
+}
+
+func min8(l int) int {
+	if l > 8 {
+		return 8
+	}
+	return l
+}

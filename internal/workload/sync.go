@@ -1,0 +1,148 @@
+// Package workload defines the benchmark programs the reproduction runs:
+// SPLASH-2-like parallel kernels with the same sharing structure as the
+// paper's suite (barrier phases, lock-protected shared structures, atomic
+// histograms, stencils, work stealing) plus microbenchmarks that isolate
+// single behaviours. Programs are written against the simulated ISA via
+// the assembler DSL; this file provides the synchronization idioms they
+// share — futex-backed mutexes and sense-reversing barriers, the shapes
+// pthreads lowers to on Linux.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/capo"
+	"repro/internal/isa"
+)
+
+// Registers with fixed roles in all workloads (set up by the machine):
+// R1 = thread ID, R2 = thread count, R29 = per-thread scratch base.
+// The sync emitters clobber R20..R27; workload bodies use R3..R19.
+const (
+	RegTID      = isa.R1
+	RegNThreads = isa.R2
+	RegStack    = isa.R29
+)
+
+// EmitSyscall0 emits a syscall with no arguments.
+func EmitSyscall0(b *isa.Builder, sysno uint64) {
+	b.Li(isa.RRet, int64(sysno))
+	b.Syscall()
+}
+
+// EmitSpinLock emits a pure test-and-set spin acquire of the lock word at
+// [addrReg]. It never enters the kernel, so all contention is visible to
+// the coherence fabric (and therefore to the MRR). Clobbers R20, R21.
+func EmitSpinLock(b *isa.Builder, prefix string, addrReg isa.Reg) {
+	top := prefix + "_spin"
+	b.Label(top)
+	b.Li(isa.R20, 1)
+	b.Xchg(isa.R21, addrReg, 0, isa.R20)
+	b.Bne(isa.R21, isa.R0, top)
+}
+
+// EmitSpinUnlock releases a spin lock.
+func EmitSpinUnlock(b *isa.Builder, addrReg isa.Reg) {
+	b.St(addrReg, 0, isa.R0)
+}
+
+// EmitFutexLock emits a futex-backed mutex acquire of the word at
+// [addrReg] using the classic three-state protocol glibc's
+// pthread_mutex_lock lowers to (0 = free, 1 = locked, 2 = locked with
+// waiters): an uncontended acquire is one CAS with no kernel crossing;
+// contended acquirers mark the lock and sleep. Clobbers R20..R22.
+// prefix must be unique per call site (it names labels).
+func EmitFutexLock(b *isa.Builder, prefix string, addrReg isa.Reg) {
+	checkOperandReg(addrReg)
+	slow := prefix + "_lock_slow"
+	done := prefix + "_lock_done"
+	b.Li(isa.R20, 0)
+	b.Li(isa.R21, 1)
+	b.Cas(isa.R22, addrReg, 0, isa.R20, isa.R21)
+	b.Beq(isa.R22, isa.R0, done) // fast path: 0 -> 1
+	b.Label(slow)
+	// Mark contended and take the lock if it happens to be free; the
+	// lock is then held in state 2, which only costs a spurious wake.
+	b.Li(isa.R21, 2)
+	b.Xchg(isa.R22, addrReg, 0, isa.R21)
+	b.Beq(isa.R22, isa.R0, done)
+	b.Li(isa.RRet, int64(capo.SysFutexWait))
+	b.Mov(isa.R11, addrReg)
+	b.Li(isa.R12, 2)
+	b.Syscall()
+	b.Jmp(slow)
+	b.Label(done)
+}
+
+// EmitFutexUnlock releases a three-state futex mutex, entering the
+// kernel to wake a waiter only when the contended state was observed —
+// the fast path is a single atomic exchange. Clobbers R20, R21 and the
+// syscall registers. prefix must be unique per call site.
+func EmitFutexUnlock(b *isa.Builder, prefix string, addrReg isa.Reg) {
+	checkOperandReg(addrReg)
+	skip := prefix + "_unlock_skip"
+	b.Xchg(isa.R21, addrReg, 0, isa.R0) // release; R21 = prior state
+	b.Li(isa.R20, 2)
+	b.Bne(isa.R21, isa.R20, skip)
+	b.Li(isa.RRet, int64(capo.SysFutexWake))
+	b.Mov(isa.R11, addrReg)
+	b.Li(isa.R12, 1)
+	b.Syscall()
+	b.Label(skip)
+}
+
+// EmitBarrier emits a sense-reversing futex barrier over the two-word
+// structure at [baseReg]: word 0 is the arrival count, word 1 the
+// generation. The last arriver resets the count, bumps the generation and
+// wakes everyone; the rest sleep on the generation word. Clobbers
+// R20..R23 and the syscall registers. prefix must be unique per call
+// site.
+func EmitBarrier(b *isa.Builder, prefix string, baseReg isa.Reg) {
+	checkOperandReg(baseReg)
+	wait := prefix + "_bar_wait"
+	last := prefix + "_bar_last"
+	done := prefix + "_bar_done"
+
+	b.Ld(isa.R20, baseReg, 8) // generation before arrival
+	b.Li(isa.R21, 1)
+	b.Fadd(isa.R22, baseReg, 0, isa.R21) // old count
+	b.Addi(isa.R22, isa.R22, 1)
+	b.Beq(isa.R22, RegNThreads, last)
+
+	b.Label(wait)
+	b.Li(isa.RRet, int64(capo.SysFutexWait))
+	b.Addi(isa.R11, baseReg, 8)
+	b.Mov(isa.R12, isa.R20)
+	b.Syscall()
+	b.Ld(isa.R23, baseReg, 8)
+	b.Beq(isa.R23, isa.R20, wait) // spurious wake: generation unchanged
+	b.Jmp(done)
+
+	b.Label(last)
+	b.St(baseReg, 0, isa.R0) // reset arrival count
+	b.Ld(isa.R23, baseReg, 8)
+	b.Addi(isa.R23, isa.R23, 1)
+	b.St(baseReg, 8, isa.R23) // bump generation
+	b.Li(isa.RRet, int64(capo.SysFutexWake))
+	b.Addi(isa.R11, baseReg, 8)
+	b.Li(isa.R12, 1<<30) // wake all
+	b.Syscall()
+
+	b.Label(done)
+}
+
+// EmitExit emits a SysExit trap (thread termination via the kernel, as
+// opposed to HALT which ends the thread in user mode).
+func EmitExit(b *isa.Builder) { EmitSyscall0(b, capo.SysExit) }
+
+// uniquePrefix builds distinct label prefixes for repeated emissions.
+func uniquePrefix(base string, n int) string { return fmt.Sprintf("%s%d", base, n) }
+
+// checkOperandReg panics when an emitter operand register collides with
+// the scratch (R20..R27) or syscall (R10..R14) registers the emitters
+// clobber — a workload construction bug that would corrupt the idiom.
+func checkOperandReg(r isa.Reg) {
+	if (r >= isa.R10 && r <= isa.R14) || (r >= isa.R20 && r <= isa.R27) {
+		panic(fmt.Sprintf("workload: operand register r%d collides with emitter scratch", r))
+	}
+}

