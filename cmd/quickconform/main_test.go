@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestSplitList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"a,b,c", []string{"a", "b", "c"}},
+		{" a , b ", []string{"a", "b"}},
+		{"a,,b", []string{"a", "b"}},
+		{"", nil},
+		{",", nil},
+	}
+	for _, tc := range cases {
+		got := splitList(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("splitList(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("splitList(%q)[%d] = %q, want %q", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// FuzzProgramRoundTrip is the native-fuzzing face of the hand-rolled
+// property tests in fuzz_test.go: any generated program, under any
+// schedule seed, core count and counting convention, must record, replay
+// and verify bit-exactly — and the recording must survive serialization.
+// The fuzzer explores the (program, schedule, topology) space instead of
+// the fixed seed grids the deterministic tests sweep.
+func FuzzProgramRoundTrip(f *testing.F) {
+	// Seeds mirror the hand-rolled suites: the plain grid, the harsh
+	// preemption corner, and the hardware-counting convention.
+	f.Add(uint64(0), uint64(1), uint8(4), uint8(4), false, false)
+	f.Add(uint64(3), uint64(7), uint8(4), uint8(2), false, false)
+	f.Add(uint64(20), uint64(20), uint8(6), uint8(2), true, false)
+	f.Add(uint64(60), uint64(2), uint8(4), uint8(4), false, true)
+	f.Add(uint64(11), uint64(5), uint8(1), uint8(1), false, false)
+
+	f.Fuzz(func(t *testing.T, progSeed, schedSeed uint64, threads, cores uint8, preempt, countRep bool) {
+		// Clamp topology to the supported envelope so the fuzzer spends
+		// its budget on semantics, not argument validation.
+		nThreads := 1 + int(threads)%6
+		nCores := 1 + int(cores)%4
+		prog := workload.RandomProgram(progSeed, nThreads)
+		cfg := recordCfg(schedSeed, func(c *machine.Config) {
+			c.Threads = nThreads
+			c.Cores = nCores
+			if preempt {
+				c.TimeSliceInstrs = 300
+			}
+			c.MRR.CountRepIterations = countRep
+		})
+		b, _, err := RecordAndVerify(prog, cfg)
+		if err != nil {
+			t.Fatalf("prog %d sched %d %dt/%dc preempt=%v countRep=%v: %v",
+				progSeed, schedSeed, nThreads, nCores, preempt, countRep, err)
+		}
+		// The recording must survive serialization and still verify.
+		loaded, err := UnmarshalBundle(b.Marshal())
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		rr, err := Replay(prog, loaded)
+		if err != nil {
+			t.Fatalf("replay of reloaded bundle: %v", err)
+		}
+		if err := Verify(loaded, rr); err != nil {
+			t.Fatalf("verify of reloaded bundle: %v", err)
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+)
+
+// BenchResult is one workload's measured recording throughput:
+// simulated instructions retired per second of host wall time while
+// recording with full logging enabled.
+type BenchResult struct {
+	Workload     string  `json:"workload"`
+	Threads      int     `json:"threads"`
+	Cores        int     `json:"cores"`
+	Instrs       uint64  `json:"instrs_per_run"`
+	InstrsPerSec float64 `json:"instrs_per_sec"`
+}
+
+// Baseline is the committed reference point the regression guard
+// compares against (BENCH_baseline.json).
+type Baseline struct {
+	// Note records how the numbers were produced.
+	Note    string        `json:"note"`
+	Results []BenchResult `json:"results"`
+}
+
+// MeasureRecordThroughput records the named workload runs times and
+// returns the best observed throughput. Best-of damps scheduler noise;
+// the guard's tolerance absorbs the rest.
+func MeasureRecordThroughput(name string, threads, cores, runs int) (*BenchResult, error) {
+	prog, err := buildProgram(name, threads)
+	if err != nil {
+		return nil, err
+	}
+	cfg := recordConfig(cores, threads, 1)
+	if runs < 1 {
+		runs = 1
+	}
+	res := &BenchResult{Workload: name, Threads: threads, Cores: cores}
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		rec, err := core.Record(prog, cfg)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("harness: bench recording of %s failed: %w", name, err)
+		}
+		var instrs uint64
+		for _, r := range rec.RetiredPerThread {
+			instrs += r
+		}
+		res.Instrs = instrs
+		if tput := float64(instrs) / elapsed.Seconds(); tput > res.InstrsPerSec {
+			res.InstrsPerSec = tput
+		}
+	}
+	return res, nil
+}
+
+// WriteBaseline measures every listed workload and writes the baseline
+// file the regression guard reads.
+func WriteBaseline(path string, workloads []string, threads, cores, runs int) (*Baseline, error) {
+	b := &Baseline{
+		Note: fmt.Sprintf("best of %d record runs per workload, %d threads on %d cores; regenerate with QUICKREC_WRITE_BASELINE=1 go test ./internal/harness/ -run TestWriteBenchBaseline", runs, threads, cores),
+	}
+	for _, w := range workloads {
+		r, err := MeasureRecordThroughput(w, threads, cores, runs)
+		if err != nil {
+			return nil, err
+		}
+		b.Results = append(b.Results, *r)
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return b, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("harness: corrupt baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// CheckRegression compares a fresh measurement against the baseline and
+// returns an error when throughput fell below (1 - tolerance) of it.
+func CheckRegression(base BenchResult, got *BenchResult, tolerance float64) error {
+	floor := base.InstrsPerSec * (1 - tolerance)
+	if got.InstrsPerSec < floor {
+		return fmt.Errorf("harness: %s record throughput regressed: %.0f instrs/s vs baseline %.0f (floor %.0f, tolerance %.0f%%)",
+			base.Workload, got.InstrsPerSec, base.InstrsPerSec, floor, tolerance*100)
+	}
+	return nil
+}

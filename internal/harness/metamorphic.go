@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// PropertyResult is one metamorphic property's outcome; Err is empty on
+// success.
+type PropertyResult struct {
+	Property string
+	Err      string
+}
+
+// Metamorphic property names.
+const (
+	PropRecordDeterminism    = "record-twice-is-identical"
+	PropReplayFidelity       = "replay-reaches-recorded-state"
+	PropSerializationClosure = "recording-survives-serialization"
+	PropReplayDeterminism    = "replay-twice-is-identical"
+)
+
+// checkMetamorphic runs the metamorphic properties against prog under
+// cfg, given an already-made recording rec (recorded under cfg).
+//
+//   - record-twice-is-identical: recording is a pure function of
+//     (program, config); a second recording marshals byte-identically.
+//   - replay-reaches-recorded-state: replay reproduces the recorded
+//     final memory, output and per-thread architectural state.
+//   - recording-survives-serialization: marshal→unmarshal is the
+//     identity (re-marshal is byte-identical) and the reloaded recording
+//     still replays and verifies — a recording on disk is as replayable
+//     as one in memory.
+//   - replay-twice-is-identical: replay is itself deterministic, the
+//     property that makes "replay the replay" debugging sound.
+func checkMetamorphic(prog *isa.Program, cfg machine.Config, rec *core.Bundle) []PropertyResult {
+	var out []PropertyResult
+	add := func(prop string, err error) {
+		pr := PropertyResult{Property: prop}
+		if err != nil {
+			pr.Err = err.Error()
+		}
+		out = append(out, pr)
+	}
+
+	add(PropRecordDeterminism, func() error {
+		again, err := core.Record(prog, cfg)
+		if err != nil {
+			return fmt.Errorf("second recording failed: %w", err)
+		}
+		a, b := rec.Marshal(), again.Marshal()
+		if !bytes.Equal(a, b) {
+			return fmt.Errorf("recordings differ: %d vs %d bytes", len(a), len(b))
+		}
+		return nil
+	}())
+
+	add(PropReplayFidelity, func() error {
+		rr, err := core.Replay(prog, rec)
+		if err != nil {
+			return err
+		}
+		return core.Verify(rec, rr)
+	}())
+
+	add(PropSerializationClosure, func() error {
+		data := rec.Marshal()
+		loaded, err := core.UnmarshalBundle(data)
+		if err != nil {
+			return fmt.Errorf("unmarshal: %w", err)
+		}
+		if !bytes.Equal(loaded.Marshal(), data) {
+			return fmt.Errorf("re-marshal is not byte-identical")
+		}
+		rr, err := core.Replay(prog, loaded)
+		if err != nil {
+			return fmt.Errorf("replay of reloaded recording: %w", err)
+		}
+		return core.Verify(loaded, rr)
+	}())
+
+	add(PropReplayDeterminism, func() error {
+		r1, err := core.Replay(prog, rec)
+		if err != nil {
+			return err
+		}
+		r2, err := core.Replay(prog, rec)
+		if err != nil {
+			return err
+		}
+		if r1.MemChecksum != r2.MemChecksum {
+			return fmt.Errorf("memory checksums differ: %#x vs %#x", r1.MemChecksum, r2.MemChecksum)
+		}
+		if !bytes.Equal(r1.Output, r2.Output) {
+			return fmt.Errorf("outputs differ: %d vs %d bytes", len(r1.Output), len(r2.Output))
+		}
+		if r1.Steps != r2.Steps {
+			return fmt.Errorf("step counts differ: %d vs %d", r1.Steps, r2.Steps)
+		}
+		for t := range r1.FinalContexts {
+			if r1.FinalContexts[t] != r2.FinalContexts[t] {
+				return fmt.Errorf("thread %d final context differs", t)
+			}
+		}
+		return nil
+	}())
+
+	return out
+}

@@ -50,6 +50,11 @@ type Input struct {
 	// replayer must mirror whichever convention the hardware used — the
 	// paper's instruction-counting lesson.
 	CountRepIterations bool
+	// MaxSteps, when nonzero, bounds the number of execution steps replay
+	// may perform before aborting with a *DivergenceError. A corrupted
+	// chunk size can send a spin-wait loop chasing an astronomically
+	// distant boundary; the budget turns that hang into a detection.
+	MaxSteps uint64
 }
 
 // StartState is a checkpoint the replayer can resume from: the
@@ -98,11 +103,18 @@ type Result struct {
 // recording.
 type DivergenceError struct {
 	Thread int
+	// Chunk is the index (into the thread's chunk log) of the chunk that
+	// was executing — or about to execute — when the divergence was
+	// detected; -1 when no chunk context applies.
+	Chunk  int
 	Reason string
 }
 
 // Error implements error.
 func (e *DivergenceError) Error() string {
+	if e.Chunk >= 0 {
+		return fmt.Sprintf("replay: divergence on thread %d (chunk %d): %s", e.Thread, e.Chunk, e.Reason)
+	}
 	return fmt.Sprintf("replay: divergence on thread %d: %s", e.Thread, e.Reason)
 }
 
@@ -140,6 +152,9 @@ type threadState struct {
 	items    []item
 	next     int
 	execBase uint64 // units at the last completed chunk boundary
+	// chunksDone counts completed chunks, so divergence reports can name
+	// the chunk-log index they occurred in.
+	chunksDone int
 	// cumTicks counts REP iterations executed (used when the recorder
 	// counted hardware-style; units = retired + cumTicks).
 	cumTicks uint64
@@ -266,6 +281,61 @@ func buildItems(in Input, t int) []item {
 	return items
 }
 
+// ScheduledItem is one element of the deterministic global order in
+// which replay will execute a recording's work items.
+type ScheduledItem struct {
+	// Thread is the executing thread.
+	Thread int
+	// IsChunk distinguishes user chunks from kernel input events.
+	IsChunk bool
+	// Entry is the chunk entry when IsChunk is true.
+	Entry chunk.Entry
+	// Rec is the input record when IsChunk is false.
+	Rec capo.Record
+}
+
+// ScheduleOf computes, without executing anything, the exact global
+// serialization Run would follow for in: per-thread streams merged by
+// (TS, thread), ties resolved toward the lower thread ID. Conformance
+// tooling uses it to decide whether a log perturbation changes replay
+// semantics at all.
+func ScheduleOf(in Input) []ScheduledItem {
+	if in.Threads <= 0 || len(in.ChunkLogs) != in.Threads || in.InputLog == nil {
+		return nil
+	}
+	type cursor struct {
+		items []item
+		next  int
+	}
+	cursors := make([]cursor, in.Threads)
+	total := 0
+	for t := 0; t < in.Threads; t++ {
+		cursors[t].items = buildItems(in, t)
+		total += len(cursors[t].items)
+	}
+	out := make([]ScheduledItem, 0, total)
+	for {
+		pick := -1
+		for t := range cursors {
+			c := &cursors[t]
+			if c.next >= len(c.items) {
+				continue
+			}
+			if pick < 0 || c.items[c.next].ts < cursors[pick].items[cursors[pick].next].ts {
+				pick = t
+			}
+		}
+		if pick < 0 {
+			return out
+		}
+		it := cursors[pick].items[cursors[pick].next]
+		cursors[pick].next++
+		out = append(out, ScheduledItem{
+			Thread: pick, IsChunk: it.kind == itemChunk, Entry: it.entry, Rec: it.rec,
+		})
+	}
+}
+
 // loop executes items globally ordered by (TS, thread).
 func (r *replayer) loop() error {
 	for {
@@ -299,7 +369,15 @@ func (r *replayer) loop() error {
 }
 
 func (r *replayer) diverge(t *threadState, format string, args ...any) error {
-	return &DivergenceError{Thread: t.id, Reason: fmt.Sprintf(format, args...)}
+	return &DivergenceError{Thread: t.id, Chunk: t.chunksDone, Reason: fmt.Sprintf(format, args...)}
+}
+
+// checkBudget enforces Input.MaxSteps.
+func (r *replayer) checkBudget(t *threadState) error {
+	if r.in.MaxSteps > 0 && r.res.Steps >= r.in.MaxSteps {
+		return r.diverge(t, "step budget exhausted after %d steps (corrupt chunk sizes?)", r.res.Steps)
+	}
+	return nil
 }
 
 // units returns thread t's position in the recorder's counting
@@ -318,6 +396,9 @@ func (r *replayer) runChunk(t *threadState, e chunk.Entry) error {
 	target := t.execBase + e.Size
 	for {
 		if err := r.checkBreakpoint(t); err != nil {
+			return err
+		}
+		if err := r.checkBudget(t); err != nil {
 			return err
 		}
 		pos := r.units(t)
@@ -356,6 +437,7 @@ func (r *replayer) runChunk(t *threadState, e chunk.Entry) error {
 		r.res.Steps++
 	}
 	t.execBase = target
+	t.chunksDone++
 	return nil
 }
 

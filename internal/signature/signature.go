@@ -12,7 +12,12 @@
 // experiments.
 package signature
 
-import "math/bits"
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+)
 
 // Config parameterises a signature.
 type Config struct {
@@ -178,3 +183,111 @@ func (s *Signature) Stats() (tests, hits, falseHits uint64) {
 
 // Config returns the configuration the signature was built with.
 func (s *Signature) Config() Config { return s.cfg }
+
+// Empty reports whether no bits are set (no line has been inserted since
+// the last Clear).
+func (s *Signature) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether the two filters share any set bit — the
+// hardware conflict test between a remote access set and a local one.
+// Bloom semantics carry over: a shared line always intersects, and an
+// intersection may be an alias; an empty signature never intersects
+// anything. Both signatures must have the same geometry (Bits).
+func (s *Signature) Intersects(o *Signature) bool {
+	if s.cfg.Bits != o.cfg.Bits || s.cfg.Hashes != o.cfg.Hashes {
+		panic("signature: Intersects requires identical geometry")
+	}
+	for i := range s.words {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// sigMagic guards serialized signatures.
+var sigMagic = [4]byte{'Q', 'R', 'S', 'G'}
+
+const sigVersion = 1
+
+// ErrCorruptSignature reports a malformed serialized signature.
+var ErrCorruptSignature = errors.New("signature: corrupt serialized signature")
+
+// Marshal serializes the filter: configuration, insertion counter and bit
+// array. The exact shadow set and the lifetime accounting counters are
+// runtime-only diagnostics and are not serialized; an unmarshalled
+// signature answers Test/Intersects/Saturated identically to the
+// original.
+func (s *Signature) Marshal() []byte {
+	out := make([]byte, 0, 16+len(s.words)*8)
+	out = append(out, sigMagic[:]...)
+	out = append(out, sigVersion)
+	out = binary.AppendUvarint(out, uint64(s.cfg.Bits))
+	out = binary.AppendUvarint(out, uint64(s.cfg.Hashes))
+	out = binary.AppendUvarint(out, uint64(s.cfg.MaxInserts))
+	out = binary.AppendUvarint(out, uint64(s.inserts))
+	for _, w := range s.words {
+		out = binary.LittleEndian.AppendUint64(out, w)
+	}
+	return out
+}
+
+// Unmarshal parses a signature serialized with Marshal. Malformed input
+// yields an error, never a panic: the configuration is re-validated
+// before the filter is materialized.
+func Unmarshal(data []byte) (*Signature, error) {
+	if len(data) < 5 || [4]byte(data[0:4]) != sigMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorruptSignature)
+	}
+	if data[4] != sigVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptSignature, data[4])
+	}
+	pos := 5
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, ErrCorruptSignature
+		}
+		pos += n
+		return v, nil
+	}
+	bitsN, err := next()
+	if err != nil {
+		return nil, err
+	}
+	hashes, err := next()
+	if err != nil {
+		return nil, err
+	}
+	maxIns, err := next()
+	if err != nil {
+		return nil, err
+	}
+	inserts, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if bitsN == 0 || bitsN > 1<<24 || bitsN&(bitsN-1) != 0 {
+		return nil, fmt.Errorf("%w: Bits %d not a supported power of two", ErrCorruptSignature, bitsN)
+	}
+	if hashes == 0 || hashes > 8 {
+		return nil, fmt.Errorf("%w: Hashes %d out of 1..8", ErrCorruptSignature, hashes)
+	}
+	s := New(Config{Bits: uint(bitsN), Hashes: uint(hashes), MaxInserts: uint(maxIns)})
+	if len(data)-pos != len(s.words)*8 {
+		return nil, fmt.Errorf("%w: %d payload bytes for %d words", ErrCorruptSignature, len(data)-pos, len(s.words))
+	}
+	for i := range s.words {
+		s.words[i] = binary.LittleEndian.Uint64(data[pos:])
+		pos += 8
+	}
+	s.inserts = uint(inserts)
+	return s, nil
+}

@@ -161,6 +161,201 @@ func TestConfigAccessor(t *testing.T) {
 	}
 }
 
+// TestAliasingTable pins false-positive behaviour across filter
+// geometries: false negatives never happen, and the alias rate on probes
+// of never-inserted lines stays within the expected band for each
+// configuration.
+func TestAliasingTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		cfg       Config
+		inserts   int
+		maxFPRate float64 // upper bound on alias rate for foreign probes
+		minFPRate float64 // lower bound (0 = aliasing not required)
+	}{
+		{"default-budget", Config{Bits: 1024, Hashes: 2, TrackExact: true}, 192, 0.25, 0},
+		{"tiny-dense", Config{Bits: 64, Hashes: 2, TrackExact: true}, 30, 1.0, 0.05},
+		{"large-sparse", Config{Bits: 8192, Hashes: 2, TrackExact: true}, 64, 0.02, 0},
+		{"single-hash", Config{Bits: 1024, Hashes: 1, TrackExact: true}, 128, 0.20, 0.01},
+		{"many-hash", Config{Bits: 4096, Hashes: 6, TrackExact: true}, 64, 0.05, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(tc.cfg)
+			for i := 0; i < tc.inserts; i++ {
+				s.Insert(uint64(i) * 64)
+			}
+			// No false negatives, ever.
+			for i := 0; i < tc.inserts; i++ {
+				if !s.Test(uint64(i) * 64) {
+					t.Fatalf("false negative on inserted line %d", i)
+				}
+			}
+			const probes = 4000
+			fp := 0
+			for i := uint64(0); i < probes; i++ {
+				if s.Test((i + 1_000_000) * 64) {
+					fp++
+				}
+			}
+			rate := float64(fp) / probes
+			if rate > tc.maxFPRate {
+				t.Errorf("alias rate %.4f above bound %.4f", rate, tc.maxFPRate)
+			}
+			if rate < tc.minFPRate {
+				t.Errorf("alias rate %.4f below expected floor %.4f", rate, tc.minFPRate)
+			}
+			_, hits, falseHits := s.Stats()
+			if falseHits != uint64(fp) {
+				t.Errorf("falseHits = %d, want %d", falseHits, fp)
+			}
+			if hits < falseHits {
+				t.Errorf("hits %d < falseHits %d", hits, falseHits)
+			}
+		})
+	}
+}
+
+// TestIntersection pins the conflict-test semantics, in particular that
+// the empty signature intersects nothing — including itself.
+func TestIntersection(t *testing.T) {
+	cfg := Config{Bits: 1024, Hashes: 2}
+	build := func(lines ...uint64) *Signature {
+		s := New(cfg)
+		for _, l := range lines {
+			s.Insert(l)
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		a, b *Signature
+		want bool
+	}{
+		{"empty-vs-empty", build(), build(), false},
+		{"empty-vs-populated", build(), build(1, 2, 3), false},
+		{"populated-vs-empty", build(1, 2, 3), build(), false},
+		{"shared-line", build(1, 2, 3), build(3, 9), true},
+		{"disjoint-sparse", build(0x40, 0x80), build(0x1000, 0x2000), false},
+		{"identical-sets", build(5, 6), build(5, 6), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a.Intersects(tc.b); got != tc.want {
+				t.Errorf("Intersects = %v, want %v", got, tc.want)
+			}
+			// Intersection is symmetric.
+			if got := tc.b.Intersects(tc.a); got != tc.want {
+				t.Errorf("reverse Intersects = %v, want %v", got, tc.want)
+			}
+		})
+	}
+	if !build().Empty() {
+		t.Error("fresh signature not Empty")
+	}
+	if build(1).Empty() {
+		t.Error("populated signature reports Empty")
+	}
+	s := build(1)
+	s.Clear()
+	if !s.Empty() {
+		t.Error("cleared signature not Empty")
+	}
+	// Geometry mismatch is a programming error and must panic.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Intersects across geometries did not panic")
+			}
+		}()
+		build().Intersects(New(Config{Bits: 2048, Hashes: 2}))
+	}()
+}
+
+// TestSignatureSerializationRoundTrip pins Marshal/Unmarshal across
+// geometries: the reloaded filter answers Test, Intersects, Saturated,
+// Inserts and Occupancy identically.
+func TestSignatureSerializationRoundTrip(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		inserts int
+	}{
+		{"empty", Config{Bits: 1024, Hashes: 2}, 0},
+		{"default", Config{Bits: 1024, Hashes: 2, MaxInserts: 192}, 100},
+		{"saturated", Config{Bits: 4096, Hashes: 2, MaxInserts: 16}, 16},
+		{"tiny", Config{Bits: 64, Hashes: 1}, 8},
+		{"many-hash", Config{Bits: 2048, Hashes: 8}, 50},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(tc.cfg)
+			for i := 0; i < tc.inserts; i++ {
+				s.Insert(uint64(i) * 64)
+			}
+			got, err := Unmarshal(s.Marshal())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Config().Bits != tc.cfg.Bits || got.Config().Hashes != tc.cfg.Hashes ||
+				got.Config().MaxInserts != tc.cfg.MaxInserts {
+				t.Errorf("config %+v != original %+v", got.Config(), tc.cfg)
+			}
+			if got.Inserts() != s.Inserts() {
+				t.Errorf("Inserts = %d, want %d", got.Inserts(), s.Inserts())
+			}
+			if got.Saturated() != s.Saturated() {
+				t.Errorf("Saturated = %v, want %v", got.Saturated(), s.Saturated())
+			}
+			if got.Occupancy() != s.Occupancy() {
+				t.Errorf("Occupancy = %v, want %v", got.Occupancy(), s.Occupancy())
+			}
+			for i := uint64(0); i < 4096; i++ {
+				if got.testBits(i*64) != s.testBits(i*64) {
+					t.Fatalf("Test(%d) differs after round trip", i*64)
+				}
+			}
+			if s.Inserts() > 0 && !got.Intersects(s) {
+				t.Error("round-tripped signature does not intersect its original")
+			}
+		})
+	}
+}
+
+// TestSignatureUnmarshalRejectsCorruption feeds the parser truncations
+// and corruptions; it must error, never panic.
+func TestSignatureUnmarshalRejectsCorruption(t *testing.T) {
+	s := New(Config{Bits: 1024, Hashes: 2, MaxInserts: 192})
+	for i := uint64(0); i < 40; i++ {
+		s.Insert(i * 64)
+	}
+	good := s.Marshal()
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("nil input accepted")
+	}
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := Unmarshal(good[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff // magic
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad = append([]byte(nil), good...)
+	bad[4] = 99 // version
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Non-power-of-two Bits must be rejected, not panic New.
+	bad = append([]byte(nil), good...)
+	bad[5] = 0x63 // corrupt the Bits uvarint
+	if sig, err := Unmarshal(bad); err == nil && sig.Config().Bits&(sig.Config().Bits-1) != 0 {
+		t.Error("invalid geometry accepted")
+	}
+}
+
 func TestFalsePositiveRateReasonable(t *testing.T) {
 	// With the default 1024-bit / 2-hash / 192-line budget, the false hit
 	// rate near saturation should stay below ~25%.

@@ -26,6 +26,7 @@ import (
 	"repro/internal/capo"
 	"repro/internal/chunk"
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/mem"
@@ -266,6 +267,27 @@ type TraceEntry = replay.TraceEntry
 func Trace(prog *Program, rec *Recording, tid int, from, to uint64) ([]TraceEntry, error) {
 	return core.Trace(prog, rec, tid, from, to)
 }
+
+// ConformanceConfig parameterises a Conformance run; the zero value
+// (filled with defaults) is the acceptance matrix. Workload entries are
+// catalogue names, or "fuzz:<seed>" for a generated program.
+type ConformanceConfig = harness.Config
+
+// ConformanceReport is a conformance run's findings: metamorphic
+// property results and the per-(workload, cores, fault class) coverage
+// cells. Report.OK() decides pass/fail; Report.String() renders the
+// triage table.
+type ConformanceReport = harness.Report
+
+// Conformance runs the differential record/replay conformance matrix:
+// metamorphic properties (record twice → identical bytes, replay
+// reproduces the recorded state, recordings survive serialization,
+// replay is deterministic) plus systematic single-fault corruption of
+// the serialized logs, asserting every material fault is detected
+// explicitly — at decode, replay or verify — and never accepted
+// silently. The returned error covers misconfiguration only; detection
+// findings live in the report. cmd/quickconform is the CLI face.
+func Conformance(cfg ConformanceConfig) (*ConformanceReport, error) { return harness.Run(cfg) }
 
 // Tail derives the flight-recorder bundle from a recording made with
 // Options.CheckpointEveryInstrs: the last checkpoint plus only the log
