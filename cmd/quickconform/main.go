@@ -9,6 +9,7 @@
 //	quickconform                          # the full acceptance matrix
 //	quickconform -workloads counter,fuzz:7 -cores 1,2 -mutations 6
 //	quickconform -faults bit-flip,drop -seed 3
+//	quickconform -crash                   # add the stream crash/torn-write sweep
 //	quickconform -list                    # show fault classes and exit
 //
 // The process exits 0 when the matrix passes (no silent divergence, no
@@ -36,6 +37,7 @@ func main() {
 		reroll    = flag.Int("reroll", 0, "site re-roll budget per mutation slot (default 24)")
 		seed      = flag.Uint64("seed", 0, "seed for schedules and injection sites (default 1)")
 		skipMeta  = flag.Bool("skip-meta", false, "skip the metamorphic property pass")
+		crash     = flag.Bool("crash", false, "also sweep recorder crashes over segmented streams (torn writes + bit flips)")
 		list      = flag.Bool("list", false, "list fault classes and exit")
 	)
 	flag.Parse()
@@ -45,6 +47,8 @@ func main() {
 		for _, c := range harness.AllFaults() {
 			fmt.Printf("  %s\n", c)
 		}
+		fmt.Println("stream fault classes (swept with -crash):")
+		fmt.Printf("  %s\n  %s\n", harness.FaultTornWrite, harness.FaultStreamCorrupt)
 		return
 	}
 
@@ -80,6 +84,18 @@ func main() {
 	rep, err := quickrec.Conformance(cfg)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *crash {
+		ccfg := quickrec.CrashConfig{
+			Workloads: cfg.Workloads, Cores: cfg.Cores, Threads: cfg.Threads, Seed: cfg.Seed,
+		}
+		crep, err := quickrec.CrashConformance(ccfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		// Merge the stream cells into the triage table so torn-write and
+		// stream-corrupt coverage prints alongside the log fault classes.
+		rep.Cells = append(rep.Cells, crep.Cells...)
 	}
 	fmt.Print(rep.String())
 	if !rep.OK() {

@@ -5,8 +5,10 @@
 //
 //	quickrec list
 //	quickrec record  -w radix -threads 4 -seed 42 -o radix.qrec
+//	quickrec record  -w radix -stream radix.qstream -o radix.qrec
 //	quickrec replay  -w radix -i radix.qrec
 //	quickrec verify  -w radix -i radix.qrec
+//	quickrec salvage -i radix.qstream -o salvaged.qrec -replay
 //	quickrec inspect -i radix.qrec
 //	quickrec debug   -i radix.qrec -t 1 -n 5000 -trace 10
 //	quickrec analyze -i radix.qrec
@@ -41,6 +43,8 @@ func main() {
 		err = cmdReplay(args, false)
 	case "verify":
 		err = cmdReplay(args, true)
+	case "salvage":
+		err = cmdSalvage(args)
 	case "inspect":
 		err = cmdInspect(args)
 	case "debug":
@@ -58,11 +62,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: quickrec <list|record|replay|verify|inspect|debug|analyze> [flags]
+	fmt.Fprintln(os.Stderr, `usage: quickrec <list|record|replay|verify|salvage|inspect|debug|analyze> [flags]
   list                             show the workload catalogue
-  record  -w NAME | -prog FILE.qasm [-threads N] [-seed S] [-hw] -o FILE
+  record  -w NAME | -prog FILE.qasm [-threads N] [-seed S] [-hw] [-stream FILE [-flush N]] -o FILE
   replay  -w NAME -i FILE          replay a recording
   verify  -w NAME -i FILE          replay and verify against the recording
+  salvage -i FILE [-o FILE] [-replay] [-tail]
+                                   recover a consistent prefix from a (damaged) stream
   inspect -i FILE                  summarise a recording's logs
   debug   -i FILE -t TID -n COUNT  replay to thread TID's COUNT-th instruction and dump state
   analyze -i FILE                  post-mortem statistics: chunking, conflicts, concurrency`)
@@ -85,6 +91,8 @@ func cmdRecord(args []string) error {
 	seed := fs.Uint64("seed", 1, "scheduler seed")
 	hw := fs.Bool("hw", false, "hardware-only cost accounting")
 	out := fs.String("o", "", "output recording file")
+	stream := fs.String("stream", "", "also write the crash-consistent segmented stream to this file")
+	flush := fs.Uint64("flush", 0, "stream flush cadence in chunks (0 = default)")
 	fs.Parse(args)
 	if (*name == "" && *progPath == "") || *out == "" {
 		return fmt.Errorf("record needs -w or -prog, and -o")
@@ -96,8 +104,21 @@ func cmdRecord(args []string) error {
 	if *name == "" {
 		*name = prog.Name
 	}
-	rec, err := quickrec.Record(prog, quickrec.Options{Threads: *threads, Seed: *seed, HardwareOnly: *hw})
-	if err != nil {
+	opts := quickrec.Options{Threads: *threads, Seed: *seed, HardwareOnly: *hw, FlushEveryChunks: *flush}
+	var rec *quickrec.Recording
+	if *stream != "" {
+		f, err := os.Create(*stream)
+		if err != nil {
+			return err
+		}
+		rec, err = quickrec.StreamRecord(prog, opts, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	} else if rec, err = quickrec.Record(prog, opts); err != nil {
 		return err
 	}
 	if err := os.WriteFile(*out, rec.Marshal(), 0o644); err != nil {
@@ -106,6 +127,72 @@ func cmdRecord(args []string) error {
 	st := rec.RecordStats
 	fmt.Printf("recorded %s: %d threads, %d instrs, %d cycles, %d chunks, %d input records -> %s\n",
 		*name, rec.Threads, st.Retired, st.Cycles, totalChunks(rec), rec.InputLog.Len(), *out)
+	if *stream != "" {
+		fmt.Printf("streamed %d segments, %d bytes (%d framing) -> %s\n",
+			st.StreamSegments, st.StreamBytes, st.StreamFramingBytes, *stream)
+	}
+	return nil
+}
+
+func cmdSalvage(args []string) error {
+	fs := flag.NewFlagSet("salvage", flag.ExitOnError)
+	in := fs.String("i", "", "segmented stream file")
+	out := fs.String("o", "", "write the salvaged recording here")
+	doReplay := fs.Bool("replay", false, "best-effort replay of the salvaged prefix")
+	doTail := fs.Bool("tail", false, "salvage the flight-recorder tail instead of the full prefix")
+	progPath := fs.String("prog", "", "qasm program file (for non-catalogue recordings)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("missing -i stream file")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	sv, err := quickrec.Salvage(data)
+	if err != nil {
+		return fmt.Errorf("stream beyond salvage: %w", err)
+	}
+	fmt.Println(sv.Report)
+	rec := sv.Bundle
+	if *doTail {
+		if rec, err = sv.Tail(); err != nil {
+			return err
+		}
+		fmt.Println("flight-recorder tail: replay resumes from the last surviving checkpoint")
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, rec.Marshal(), 0o644); err != nil {
+			return err
+		}
+		kind := "complete recording"
+		if rec.Partial {
+			kind = "partial recording (prefix only, not verifiable)"
+		}
+		fmt.Printf("salvaged %s -> %s\n", kind, *out)
+	}
+	if !*doReplay {
+		return nil
+	}
+	prog, err := loadProgram(rec.ProgramName, *progPath, rec.Threads)
+	if err != nil {
+		return err
+	}
+	rr, err := quickrec.Replay(prog, rec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %s: %d chunks, %d input records, %d steps\n",
+		rec.ProgramName, rr.ChunksExecuted, rr.InputsApplied, rr.Steps)
+	if rr.Truncation != nil {
+		fmt.Printf("replay truncated: %s\n", rr.Truncation)
+	}
+	if !rec.Partial {
+		if err := quickrec.Verify(rec, rr); err != nil {
+			return err
+		}
+		fmt.Println("verified: replay reproduced the recorded execution exactly")
+	}
 	return nil
 }
 

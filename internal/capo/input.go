@@ -14,6 +14,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"repro/internal/chunk"
 )
 
 // RecordKind distinguishes input-log record types.
@@ -157,8 +159,16 @@ func appendRecord(dst []byte, r Record) []byte {
 	return dst
 }
 
-// ErrCorruptInput reports a malformed input log.
+// ErrCorruptInput reports a malformed input log. Failures additionally
+// wrap the shared chunk.ErrTruncated / chunk.ErrCorrupt sentinels, so
+// harness triage classifies input-log faults exactly like chunk-log
+// faults (errors.Is against either sentinel works).
 var ErrCorruptInput = errors.New("capo: corrupt input log")
+
+var (
+	errInputTruncated = fmt.Errorf("%w: %w", ErrCorruptInput, chunk.ErrTruncated)
+	errInputCorrupt   = fmt.Errorf("%w: %w", ErrCorruptInput, chunk.ErrCorrupt)
+)
 
 type inputReader struct {
 	data []byte
@@ -167,20 +177,28 @@ type inputReader struct {
 
 func (rd *inputReader) uvarint() (uint64, error) {
 	v, n := binary.Uvarint(rd.data[rd.pos:])
-	if n <= 0 {
-		return 0, ErrCorruptInput
+	if n == 0 {
+		return 0, errInputTruncated
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("%w: varint overflow", errInputCorrupt)
 	}
 	rd.pos += n
 	return v, nil
 }
 
-// UnmarshalInputLog parses a serialized input log.
+// UnmarshalInputLog parses a serialized input log. Every failure wraps
+// ErrCorruptInput plus the shared chunk.ErrTruncated or chunk.ErrCorrupt
+// sentinel; trailing bytes after the last record are rejected.
 func UnmarshalInputLog(data []byte) (*InputLog, error) {
-	if len(data) < 5 || [4]byte(data[0:4]) != inputMagic {
-		return nil, fmt.Errorf("%w: bad header", ErrCorruptInput)
+	if len(data) < 5 {
+		return nil, fmt.Errorf("%w: short header", errInputTruncated)
+	}
+	if [4]byte(data[0:4]) != inputMagic {
+		return nil, fmt.Errorf("%w: bad magic", errInputCorrupt)
 	}
 	if data[4] != inputVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptInput, data[4])
+		return nil, fmt.Errorf("%w: unsupported version %d", errInputCorrupt, data[4])
 	}
 	rd := &inputReader{data: data, pos: 5}
 	count, err := rd.uvarint()
@@ -202,15 +220,53 @@ func UnmarshalInputLog(data []byte) (*InputLog, error) {
 		l.Records = append(l.Records, r)
 	}
 	if rd.pos != len(data) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptInput, len(data)-rd.pos)
+		return nil, fmt.Errorf("%w: %d trailing bytes", errInputCorrupt, len(data)-rd.pos)
 	}
 	return l, nil
+}
+
+// MarshalRecords serializes a bare record sequence (uvarint count plus
+// records, no log header) — the payload format segment streams use for
+// input batches.
+func MarshalRecords(recs []Record) []byte {
+	out := binary.AppendUvarint(make([]byte, 0, 16+len(recs)*24), uint64(len(recs)))
+	for _, r := range recs {
+		out = appendRecord(out, r)
+	}
+	return out
+}
+
+// UnmarshalRecords parses a bare record sequence written by
+// MarshalRecords, requiring every byte to be consumed. Failures wrap the
+// same sentinels as UnmarshalInputLog.
+func UnmarshalRecords(data []byte) ([]Record, error) {
+	rd := &inputReader{data: data}
+	count, err := rd.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	capHint := count
+	if max := uint64(len(data) - rd.pos); capHint > max {
+		capHint = max
+	}
+	recs := make([]Record, 0, capHint)
+	for i := uint64(0); i < count; i++ {
+		r, err := readRecord(rd)
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+		recs = append(recs, r)
+	}
+	if rd.pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errInputCorrupt, len(data)-rd.pos)
+	}
+	return recs, nil
 }
 
 func readRecord(rd *inputReader) (Record, error) {
 	var r Record
 	if rd.pos >= len(rd.data) {
-		return r, ErrCorruptInput
+		return r, errInputTruncated
 	}
 	r.Kind = RecordKind(rd.data[rd.pos])
 	rd.pos++
@@ -244,7 +300,7 @@ func readRecord(rd *inputReader) (Record, error) {
 		}
 		// Compare as uint64: a huge length must not overflow int.
 		if n > uint64(len(rd.data)-rd.pos) {
-			return r, ErrCorruptInput
+			return r, fmt.Errorf("%w: data length %d overruns buffer", errInputTruncated, n)
 		}
 		if n > 0 {
 			r.Data = append([]byte(nil), rd.data[rd.pos:rd.pos+int(n)]...)
@@ -261,7 +317,7 @@ func readRecord(rd *inputReader) (Record, error) {
 			return r, err
 		}
 	default:
-		return r, fmt.Errorf("%w: unknown record kind %d", ErrCorruptInput, r.Kind)
+		return r, fmt.Errorf("%w: unknown record kind %d", errInputCorrupt, r.Kind)
 	}
 	return r, nil
 }

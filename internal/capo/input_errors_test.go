@@ -1,0 +1,81 @@
+package capo
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chunk"
+)
+
+func sampleLog() *InputLog {
+	l := &InputLog{}
+	l.Append(Record{Kind: KindSyscall, Thread: 0, Seq: 0, TS: 3, Sysno: 2, Ret: 9, Addr: 64, Data: []byte{1, 2, 3}})
+	l.Append(Record{Kind: KindSignal, Thread: 1, Seq: 0, TS: 5, Signo: 7, Retired: 40, RepDone: 2})
+	return l
+}
+
+func TestUnmarshalInputLogRejectsTrailingBytes(t *testing.T) {
+	data := append(sampleLog().Marshal(), 0xff)
+	_, err := UnmarshalInputLog(data)
+	if err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if !errors.Is(err, ErrCorruptInput) || !errors.Is(err, chunk.ErrCorrupt) {
+		t.Fatalf("trailing-byte error %v should wrap ErrCorruptInput and chunk.ErrCorrupt", err)
+	}
+}
+
+func TestUnmarshalInputLogSentinels(t *testing.T) {
+	valid := sampleLog().Marshal()
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"torn mid-record", valid[:len(valid)-4], chunk.ErrTruncated},
+		{"short header", valid[:3], chunk.ErrTruncated},
+		{"bad magic", append([]byte("XXXX"), valid[4:]...), chunk.ErrCorrupt},
+		{"bad version", append(append([]byte{}, valid[:4]...), append([]byte{0x7f}, valid[5:]...)...), chunk.ErrCorrupt},
+		{"unknown kind", func() []byte {
+			d := append([]byte(nil), valid...)
+			d[6] = 0x77 // first record's kind byte (magic+version+count)
+			return d
+		}(), chunk.ErrCorrupt},
+	}
+	for _, tc := range cases {
+		_, err := UnmarshalInputLog(tc.data)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrCorruptInput) {
+			t.Errorf("%s: %v does not wrap ErrCorruptInput", tc.name, err)
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: %v does not wrap shared sentinel %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestRecordsRoundTrip(t *testing.T) {
+	recs := sampleLog().Records
+	data := MarshalRecords(recs)
+	got, err := UnmarshalRecords(data)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].String() != recs[i].String() {
+			t.Errorf("record %d: got %v want %v", i, got[i], recs[i])
+		}
+	}
+	if _, err := UnmarshalRecords(append(data, 0)); !errors.Is(err, chunk.ErrCorrupt) {
+		t.Fatalf("trailing byte after records: err=%v, want chunk.ErrCorrupt", err)
+	}
+	if _, err := UnmarshalRecords(data[:len(data)-2]); !errors.Is(err, chunk.ErrTruncated) {
+		t.Fatalf("torn records: err=%v, want chunk.ErrTruncated", err)
+	}
+}

@@ -111,11 +111,15 @@ const (
 	DeltaID byte = 3
 )
 
-// ErrTruncated reports a log that ends mid-entry.
-var ErrTruncated = errors.New("chunk: truncated log")
+// ErrTruncated reports a log that ends mid-entry. It is the shared
+// truncation sentinel for every log decoder in the system (chunk logs,
+// input logs, segment streams), so triage tooling can classify
+// truncation faults uniformly with errors.Is.
+var ErrTruncated = errors.New("truncated log")
 
-// ErrCorrupt reports a log that fails structural validation.
-var ErrCorrupt = errors.New("chunk: corrupt log")
+// ErrCorrupt reports a log that fails structural validation. Like
+// ErrTruncated it is shared across all log decoders.
+var ErrCorrupt = errors.New("corrupt log")
 
 // ByID returns the encoding registered under id.
 func ByID(id byte) (Encoding, error) {

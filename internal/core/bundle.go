@@ -29,16 +29,29 @@ func (b *Bundle) Marshal() []byte {
 	if b.CountRepIterations {
 		flags |= 1
 	}
+	if b.Partial {
+		flags |= 2
+	}
 	out = append(out, flags)
 	out = appendString(out, b.ProgramName)
 	out = binary.AppendUvarint(out, uint64(b.Threads))
 	out = binary.AppendUvarint(out, b.StackWordsPerThread)
 	out = binary.AppendUvarint(out, b.MemChecksum)
 	out = appendBytes(out, b.Output)
-	for _, r := range b.RetiredPerThread {
+	// Always emit Threads entries: a Partial bundle has no reference
+	// final state, so pad with zero values the reader can skip past.
+	for t := 0; t < b.Threads; t++ {
+		var r uint64
+		if t < len(b.RetiredPerThread) {
+			r = b.RetiredPerThread[t]
+		}
 		out = binary.AppendUvarint(out, r)
 	}
-	for _, ctx := range b.FinalContexts {
+	for t := 0; t < b.Threads; t++ {
+		var ctx isa.Context
+		if t < len(b.FinalContexts) {
+			ctx = b.FinalContexts[t]
+		}
 		out = appendContext(out, ctx)
 	}
 	for _, l := range b.ChunkLogs {
@@ -171,10 +184,11 @@ func UnmarshalBundle(data []byte) (*Bundle, error) {
 	if len(data) < 6 {
 		return nil, ErrCorruptBundle
 	}
-	if data[5] > 1 {
+	if data[5] > 3 {
 		return nil, fmt.Errorf("%w: unknown flags %#x", ErrCorruptBundle, data[5])
 	}
 	countReps := data[5]&1 != 0
+	partial := data[5]&2 != 0
 	r := &bundleReader{data: data, pos: 6}
 	name, err := r.bytes()
 	if err != nil {
@@ -187,7 +201,7 @@ func UnmarshalBundle(data []byte) (*Bundle, error) {
 	if threads == 0 || threads > 1<<16 {
 		return nil, fmt.Errorf("%w: implausible thread count %d", ErrCorruptBundle, threads)
 	}
-	b := &Bundle{ProgramName: string(name), Threads: int(threads), CountRepIterations: countReps}
+	b := &Bundle{ProgramName: string(name), Threads: int(threads), CountRepIterations: countReps, Partial: partial}
 	if b.StackWordsPerThread, err = r.uvarint(); err != nil {
 		return nil, err
 	}

@@ -37,6 +37,13 @@ type Bundle struct {
 	// CountRepIterations records the hardware's counting convention
 	// (chunk sizes include REP iterations); the replayer must mirror it.
 	CountRepIterations bool
+	// Partial marks a salvaged recording prefix: the logs are a validated,
+	// causally closed prefix of the original execution, but the reference
+	// final state is missing (the recorder died before writing it). Replay
+	// runs best-effort (Result.Truncation describes where the logs ran
+	// out); Verify rejects partial bundles since there is nothing to
+	// verify against.
+	Partial bool
 
 	// Reference state captured at the end of the recorded run.
 	MemChecksum      uint64
@@ -101,6 +108,7 @@ func replayInput(prog *isa.Program, b *Bundle) (replay.Input, error) {
 		InputLog:            b.InputLog,
 		StackWordsPerThread: b.StackWordsPerThread,
 		CountRepIterations:  b.CountRepIterations,
+		AllowTruncated:      b.Partial,
 	}
 	if prog.Name != b.ProgramName {
 		return in, fmt.Errorf("core: bundle was recorded from %q, not %q", b.ProgramName, prog.Name)
@@ -152,6 +160,9 @@ func (e *VerifyError) Error() string {
 // identical final memory image, program output, per-thread retired
 // counts, and per-thread architectural state.
 func Verify(b *Bundle, rr *replay.Result) error {
+	if b.Partial {
+		return &VerifyError{"bundle", "salvaged partial recording carries no reference final state"}
+	}
 	if rr.MemChecksum != b.MemChecksum {
 		return &VerifyError{"memory", fmt.Sprintf("checksum %#x != recorded %#x", rr.MemChecksum, b.MemChecksum)}
 	}

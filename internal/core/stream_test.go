@@ -1,0 +1,182 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/segment"
+	"repro/internal/workload"
+)
+
+func streamRecorded(t *testing.T, threads int, mut func(*machine.Config)) (*Bundle, []byte) {
+	t.Helper()
+	spec, _ := workload.ByName("radix")
+	prog := spec.Build(threads)
+	cfg := recordCfg(5, func(c *machine.Config) {
+		c.Threads = threads
+		c.FlushEveryChunks = 8
+		if mut != nil {
+			mut(c)
+		}
+	})
+	var buf bytes.Buffer
+	b, err := StreamRecord(prog, cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, buf.Bytes()
+}
+
+func TestStreamSalvageRoundTrip(t *testing.T) {
+	full, data := streamRecorded(t, 4, nil)
+	sv, err := SalvageStream(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sv.Report.Complete || sv.Bundle.Partial {
+		t.Fatalf("undamaged stream salvaged as partial: %s", sv.Report)
+	}
+	// The salvaged bundle is byte-identical to the recorded one.
+	if !bytes.Equal(sv.Bundle.Marshal(), full.Marshal()) {
+		t.Fatal("salvaged bundle differs from recorded bundle")
+	}
+	spec, _ := workload.ByName("radix")
+	rr, err := Replay(spec.Build(4), sv.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(sv.Bundle, rr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSalvageTruncatedStreamReplaysPrefix(t *testing.T) {
+	full, data := streamRecorded(t, 4, nil)
+	offs := segment.Offsets(data)
+	if len(offs) < 4 {
+		t.Fatalf("stream too short: %d segments", len(offs))
+	}
+	cut := offs[len(offs)/2]
+	sv, err := SalvageStream(data[:cut])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sv.Bundle.Partial {
+		t.Fatal("torn stream salvaged as complete")
+	}
+	spec, _ := workload.ByName("radix")
+	rr, err := Replay(spec.Build(4), sv.Bundle)
+	if err != nil {
+		t.Fatalf("prefix replay: %v", err)
+	}
+	if rr.Truncation == nil || len(rr.Truncation.Threads) == 0 {
+		t.Fatal("prefix replay reported no truncation")
+	}
+	if !bytes.HasPrefix(full.Output, rr.Output) {
+		t.Fatalf("replayed output (%d bytes) is not a prefix of the recorded output (%d bytes)",
+			len(rr.Output), len(full.Output))
+	}
+	for tid, r := range rr.RetiredPerThread {
+		if r > full.RetiredPerThread[tid] {
+			t.Fatalf("thread %d replayed %d instructions, recording retired %d", tid, r, full.RetiredPerThread[tid])
+		}
+	}
+	if err := Verify(sv.Bundle, rr); err == nil {
+		t.Fatal("Verify accepted a partial bundle")
+	}
+}
+
+// TestSalvagedTailReplay exercises the flight-recorder path on damaged
+// streams: salvage a stream truncated at and after its checkpoint, take
+// the tail, and replay from the restored snapshot.
+func TestSalvagedTailReplay(t *testing.T) {
+	full, data := streamRecorded(t, 4, func(c *machine.Config) {
+		c.CheckpointEveryInstrs = 40_000
+	})
+	if full.RecordStats.Checkpoints == 0 {
+		t.Fatal("no checkpoints taken")
+	}
+	offs := segment.Offsets(data)
+	// Find the cut that ends exactly at the first checkpoint segment.
+	ckptCut := -1
+	for _, off := range offs {
+		sv, err := SalvageStream(data[:off])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sv.HasCheckpoint() {
+			ckptCut = off
+			break
+		}
+	}
+	if ckptCut < 0 {
+		t.Fatal("no prefix contains the checkpoint")
+	}
+	spec, _ := workload.ByName("radix")
+
+	cuts := []int{ckptCut, (ckptCut + len(data)) / 2, len(data)}
+	for _, cut := range cuts {
+		sv, err := SalvageStream(data[:cut])
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !sv.HasCheckpoint() {
+			t.Fatalf("cut %d: checkpoint lost", cut)
+		}
+		tail, err := sv.Tail()
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if tail.Partial != (cut != len(data)) {
+			t.Fatalf("cut %d: Partial=%v", cut, tail.Partial)
+		}
+		rr, err := Replay(spec.Build(4), tail)
+		if err != nil {
+			t.Fatalf("cut %d: tail replay: %v", cut, err)
+		}
+		if !bytes.HasPrefix(full.Output, rr.Output) {
+			t.Fatalf("cut %d: tail output not a prefix of the recording's", cut)
+		}
+		if cut == len(data) {
+			if err := Verify(tail, rr); err != nil {
+				t.Fatalf("full-stream tail fails verification: %v", err)
+			}
+		}
+	}
+	// A mid-stream cut's salvage with no usable checkpoint yet still
+	// reports ErrNoCheckpoint cleanly.
+	sv, err := SalvageStream(data[:offs[1]])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.HasCheckpoint() {
+		t.Skip("checkpoint landed in the second segment")
+	}
+	if _, err := sv.Tail(); err != ErrNoCheckpoint {
+		t.Fatalf("Tail on checkpoint-free salvage: %v", err)
+	}
+}
+
+func TestPartialBundleMarshalRoundTrip(t *testing.T) {
+	_, data := streamRecorded(t, 2, nil)
+	offs := segment.Offsets(data)
+	sv, err := SalvageStream(data[:offs[len(offs)/2]])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sv.Bundle.Partial {
+		t.Fatal("expected a partial bundle")
+	}
+	raw := sv.Bundle.Marshal()
+	if raw[5]&2 == 0 {
+		t.Fatal("partial flag bit not set in serialized bundle")
+	}
+	got, err := UnmarshalBundle(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Partial {
+		t.Fatal("Partial lost in marshal round trip")
+	}
+}

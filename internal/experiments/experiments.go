@@ -114,6 +114,7 @@ func All() []Experiment {
 		{"A3", "REP residue logging ablation", A3},
 		{"A4", "Flight-recorder checkpointing (always-on RnR extension)", A4},
 		{"A5", "Instruction-counting convention ablation", A5},
+		{"A6", "Stream framing overhead (crash-consistent streaming extension)", A6},
 	}
 }
 

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestA6ReportsFramingColumns(t *testing.T) {
+	out := runExp(t, "A6")
+	for _, want := range []string{"framing/log", "flush cadence", "CRC32C"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("A6 missing %q", want)
+		}
+	}
+}
+
+// TestFramingOverheadBudget pins the acceptance criterion: at the
+// default flush cadence, framing (headers + checksums + commit metadata)
+// stays under 5% of the log payload once the log is large enough to
+// amortize the fixed ~160-byte stream skeleton. Measured on the two
+// largest-log kernels at the paper-regime input scale.
+func TestFramingOverheadBudget(t *testing.T) {
+	for _, name := range []string{"fmm", "fft"} {
+		var spec workload.Spec
+		found := false
+		for _, s := range workload.ScaledSuite(4) {
+			if s.Name == name {
+				spec, found = s, true
+			}
+		}
+		if !found {
+			t.Fatalf("workload %s missing from scaled suite", name)
+		}
+		res, logBytes, err := streamRun(spec, 4, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pct := 100 * float64(res.StreamFramingBytes) / float64(logBytes)
+		t.Logf("%s: framing %d B over %d B of logs = %.2f%%", name, res.StreamFramingBytes, logBytes, pct)
+		if pct >= 5 {
+			t.Errorf("%s: framing overhead %.2f%% exceeds the 5%% budget", name, pct)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCrashSweepSmall(t *testing.T) {
+	cfg := CrashConfig{
+		Workloads:  []string{"counter"},
+		Cores:      []int{2},
+		RandomCuts: 6,
+		BitFlips:   6,
+		Seed:       3,
+	}
+	rep, err := CrashSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Silent() != 0 {
+		t.Fatalf("silent crash outcomes:\n%s", rep)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(rep.Cells))
+	}
+	torn := rep.Cells[0]
+	if torn.Class != FaultTornWrite {
+		t.Fatalf("first cell class %q", torn.Class)
+	}
+	// Every segment boundary plus the random cuts was exercised, and
+	// each landed on a detection point.
+	if torn.Injected < 6+3 {
+		t.Fatalf("only %d torn-write points", torn.Injected)
+	}
+	if torn.Detected() != torn.Injected {
+		t.Fatalf("torn-write: %d of %d detected", torn.Detected(), torn.Injected)
+	}
+	if torn.Prefix == 0 {
+		t.Fatal("no torn cut yielded a verified prefix replay")
+	}
+	if torn.Verify != 1 {
+		t.Fatalf("whole-stream cut verified %d times, want 1", torn.Verify)
+	}
+	flips := rep.Cells[1]
+	if flips.Class != FaultStreamCorrupt {
+		t.Fatalf("second cell class %q", flips.Class)
+	}
+	if flips.Injected != 6 || flips.Detected() != 6 {
+		t.Fatalf("bit flips: %d of %d detected", flips.Detected(), flips.Injected)
+	}
+	if !strings.Contains(rep.String(), "torn-write") {
+		t.Fatal("report table misses the torn-write class")
+	}
+}
+
+// TestCrashSweepAcceptance runs the full acceptance matrix: every
+// segment boundary plus ≥100 random intra-segment cuts across three
+// workloads × 1/2/4 cores, with zero silent outcomes.
+func TestCrashSweepAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := CrashSweep(DefaultCrashConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Silent() != 0 {
+		t.Fatalf("silent crash outcomes:\n%s", rep)
+	}
+	randomCuts := 0
+	for _, c := range rep.Cells {
+		if c.Detected() != c.Injected {
+			t.Fatalf("%s × %d × %s: %d of %d detected", c.Workload, c.Cores, c.Class, c.Detected(), c.Injected)
+		}
+		if c.Class == FaultTornWrite {
+			randomCuts += DefaultCrashConfig().RandomCuts
+		}
+	}
+	if randomCuts < 100 {
+		t.Fatalf("only %d random cut points swept", randomCuts)
+	}
+}

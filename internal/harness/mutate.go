@@ -90,6 +90,10 @@ const (
 	// wrong execution accepted as correct. This is the conformance
 	// failure the harness exists to catch.
 	OutcomeSilent
+	// OutcomePrefix: a torn stream salvaged to a consistent prefix that
+	// replayed as a verified prefix of the original execution — the
+	// crash sweep's good outcome (see CrashSweep).
+	OutcomePrefix
 )
 
 // String names the outcome.
@@ -107,6 +111,8 @@ func (o Outcome) String() string {
 		return "benign"
 	case OutcomeSilent:
 		return "SILENT"
+	case OutcomePrefix:
+		return "prefix"
 	}
 	return fmt.Sprintf("outcome(%d)", int(o))
 }

@@ -20,6 +20,9 @@ type Cell struct {
 	Replay   int
 	Verify   int
 	Silent   int
+	// Prefix counts torn streams salvaged to a verified prefix replay —
+	// the crash sweep's detection point (zero for bundle-mutation cells).
+	Prefix int
 	// Benign counts mutations that replayed to exactly the original
 	// execution (legal alternative serializations); they are re-rolled
 	// and excluded from the detection denominator.
@@ -31,8 +34,9 @@ type Cell struct {
 	SilentExamples []string
 }
 
-// Detected sums the three detection points.
-func (c Cell) Detected() int { return c.Decode + c.Replay + c.Verify }
+// Detected sums the detection points: decode rejection, replay
+// divergence, verification failure, and verified prefix salvage.
+func (c Cell) Detected() int { return c.Decode + c.Replay + c.Verify + c.Prefix }
 
 // MetaResult is one metamorphic property's outcome at one matrix point.
 type MetaResult struct {
@@ -117,12 +121,12 @@ func (r *Report) String() string {
 
 	t := report.Table{
 		Title:   "Fault-injection coverage (single-fault log mutations)",
-		Columns: []string{"workload", "cores", "fault", "injected", "decode", "replay", "verify", "benign*", "silent"},
+		Columns: []string{"workload", "cores", "fault", "injected", "decode", "replay", "verify", "prefix", "benign*", "silent"},
 	}
 	for _, c := range r.Cells {
 		t.AddRow(c.Workload, fmt.Sprint(c.Cores), string(c.Class),
 			fmt.Sprint(c.Injected), fmt.Sprint(c.Decode), fmt.Sprint(c.Replay),
-			fmt.Sprint(c.Verify), fmt.Sprint(c.Benign), fmt.Sprint(c.Silent))
+			fmt.Sprint(c.Verify), fmt.Sprint(c.Prefix), fmt.Sprint(c.Benign), fmt.Sprint(c.Silent))
 	}
 	sb.WriteString(t.String())
 	sb.WriteString("  *benign = mutation replayed to exactly the original execution (legal\n" +

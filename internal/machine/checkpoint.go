@@ -93,6 +93,7 @@ func (m *Machine) maybeCheckpoint() {
 	}
 	m.checkpoint = ck
 	m.checkpoints++
+	m.streamCheckpoint(ck)
 	m.acct.Add(perf.CompKernel, m.cfg.Perf.CheckpointCost)
 	m.chargeFull(perf.CompRecSched, m.cfg.Perf.RecCheckpointExtra)
 }

@@ -12,6 +12,8 @@
 package machine
 
 import (
+	"io"
+
 	"repro/internal/cache"
 	"repro/internal/capo"
 	"repro/internal/chunk"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mrr"
 	"repro/internal/perf"
+	"repro/internal/segment"
 )
 
 // RecordingMode selects how much of QuickRec is active.
@@ -93,6 +96,19 @@ type Config struct {
 	CbufBytes int
 	// StackWordsPerThread sizes each thread's scratch region.
 	StackWordsPerThread uint64
+	// StreamTo, when non-nil and recording, streams the session
+	// incrementally as a segmented, checksummed stream (see
+	// internal/segment): a writer that dies mid-run leaves a salvageable
+	// prefix behind instead of nothing. Underlying write errors are
+	// sticky and surface once, from Run.
+	StreamTo io.Writer
+	// FlushEveryChunks is the streaming flush cadence: an epoch (commit +
+	// data batches) is emitted once this many chunk entries accumulate.
+	// Flushes also happen at checkpoint boundaries and at run end.
+	// 0 means the default (1024, which keeps steady-state framing
+	// overhead under 5% of log payload; see experiment A6). Smaller
+	// values tighten the crash-consistency window at the cost of framing.
+	FlushEveryChunks uint64
 }
 
 // DefaultConfig mirrors the prototype: four Pentium-class cores with
@@ -180,6 +196,13 @@ type Result struct {
 	Checkpoint *Checkpoint
 	// Checkpoints counts snapshots taken.
 	Checkpoints uint64
+	// StreamSegments/StreamBytes/StreamFramingBytes describe the
+	// segmented stream written to Config.StreamTo (zero when not
+	// streaming). FramingBytes is the streaming-only overhead: segment
+	// headers, checksums, and commit payloads.
+	StreamSegments     int
+	StreamBytes        uint64
+	StreamFramingBytes uint64
 }
 
 // Machine is a configured simulation instance. Create with New, run once
@@ -217,6 +240,13 @@ type Machine struct {
 	checkpoint  *Checkpoint
 	checkpoints uint64
 	ran         bool
+
+	// Streaming state (nil/zero unless Config.StreamTo is set).
+	stream           *segment.Writer
+	streamEpoch      uint64
+	pendingChunks    uint64
+	streamedChunkPos []int
+	streamedInputPos int
 }
 
 // corePort wires a core's memory traffic through its cache and charges
@@ -348,6 +378,12 @@ func New(prog *isa.Program, cfg Config) *Machine {
 	m.liveCnt = cfg.Threads
 	m.nextSig = cfg.SignalPeriodInstrs
 	m.nextCkpt = cfg.CheckpointEveryInstrs
+	if cfg.StreamTo != nil && recording {
+		if m.cfg.FlushEveryChunks == 0 {
+			m.cfg.FlushEveryChunks = 1024
+		}
+		m.initStream()
+	}
 	return m
 }
 

@@ -38,11 +38,16 @@ func (m *Machine) Run() (*Result, error) {
 		burst := 1 + int(m.rand64()%uint64(m.cfg.BurstMax))
 		m.runBurst(coreID, burst)
 		m.maybeCheckpoint()
+		m.maybeFlushStream()
 		if m.steps > m.cfg.MaxSteps {
 			return nil, fmt.Errorf("%w (%d steps)", ErrStepLimit, m.steps)
 		}
 	}
-	return m.finalize(), nil
+	res := m.finalize()
+	if m.stream != nil && m.stream.Err() != nil {
+		return nil, m.stream.Err()
+	}
+	return res, nil
 }
 
 // activeCores returns cores with a running thread, ascending.
@@ -79,6 +84,7 @@ func (m *Machine) assign(tid, coreID int) {
 		rec.SetSink(func(e chunk.Entry) {
 			m.acct.Add(perf.CompRecHardware, m.cfg.Perf.RecChunkWrite)
 			sink(e)
+			m.noteStreamedChunk()
 		})
 		rec.SetEnabled(true)
 	}
@@ -381,6 +387,7 @@ func (m *Machine) finalize() *Result {
 			res.MRRStats = append(res.MRRStats, r.Stats())
 		}
 	}
+	m.finishStream(res)
 	return res
 }
 

@@ -1,0 +1,148 @@
+package machine
+
+import (
+	"repro/internal/segment"
+)
+
+// initStream opens the segmented stream: the manifest is written
+// immediately so even a recorder that dies before its first flush leaves
+// an identifiable (if empty) stream behind.
+func (m *Machine) initStream() {
+	m.stream = segment.NewWriter(m.cfg.StreamTo)
+	m.stream.WriteManifest(segment.Manifest{
+		ProgramName:         m.prog.Name,
+		Threads:             m.cfg.Threads,
+		StackWordsPerThread: m.cfg.StackWordsPerThread,
+		CountRepIterations:  m.cfg.MRR.CountRepIterations,
+		EncodingID:          m.cfg.Encoding.ID(),
+		FlushEveryChunks:    m.cfg.FlushEveryChunks,
+	})
+	m.streamedChunkPos = make([]int, m.cfg.Threads)
+}
+
+// noteStreamedChunk counts a freshly emitted chunk entry toward the
+// flush cadence.
+func (m *Machine) noteStreamedChunk() {
+	m.pendingChunks++
+}
+
+// maybeFlushStream flushes an epoch once enough chunk entries
+// accumulated. Called from the run loop between bursts, where every core
+// sits at an instruction boundary (the same quiescence checkpoints rely
+// on), so per-thread recorder clocks are coherent watermark sources.
+func (m *Machine) maybeFlushStream() {
+	if m.stream == nil || m.pendingChunks < m.cfg.FlushEveryChunks {
+		return
+	}
+	m.flushStream()
+}
+
+// clockWatermark returns thread th's flush watermark: every item the
+// thread has emitted so far carries a strictly smaller timestamp, and
+// every item it will emit later carries a greater-or-equal one. For a
+// running thread that is its core's recorder clock (Terminate stamps
+// TS=clock then increments; StampInput likewise); for a parked or exited
+// thread the clock was captured into savedClock at park time.
+func (m *Machine) clockWatermark(th *thread) uint64 {
+	if th.state == thRunning {
+		return m.mrrs[th.core].Clock()
+	}
+	return th.savedClock
+}
+
+// flushStream emits one epoch: a commit declaring per-thread watermarks
+// and batch counts, then the pending chunk batches (ascending thread),
+// then the pending input batch. The commit-first order is what makes a
+// torn tail salvageable — see segment.Salvage.
+func (m *Machine) flushStream() {
+	if m.stream == nil {
+		return
+	}
+	m.pendingChunks = 0
+	pendingInput := m.session.InputLog().Records[m.streamedInputPos:]
+	anyChunks := false
+	for t := range m.threads {
+		if m.session.ChunkLog(t).Len() > m.streamedChunkPos[t] {
+			anyChunks = true
+			break
+		}
+	}
+	if !anyChunks && len(pendingInput) == 0 {
+		return
+	}
+	n := len(m.threads)
+	c := segment.Commit{
+		Epoch:      m.streamEpoch,
+		Watermark:  make([]uint64, n),
+		Exited:     make([]bool, n),
+		ChunkCount: make([]int, n),
+		InputCount: make([]int, n),
+	}
+	for t, th := range m.threads {
+		c.Watermark[t] = m.clockWatermark(th)
+		c.Exited[t] = th.state == thExited
+		c.ChunkCount[t] = m.session.ChunkLog(t).Len() - m.streamedChunkPos[t]
+	}
+	for _, r := range pendingInput {
+		c.InputCount[r.Thread]++
+	}
+	m.stream.WriteCommit(c)
+	m.streamEpoch++
+	for t := 0; t < n; t++ {
+		if c.ChunkCount[t] == 0 {
+			continue
+		}
+		entries := m.session.ChunkLog(t).Entries[m.streamedChunkPos[t]:]
+		m.stream.WriteChunkBatch(t, entries)
+		m.streamedChunkPos[t] += len(entries)
+	}
+	if len(pendingInput) > 0 {
+		m.stream.WriteInputBatch(pendingInput)
+		m.streamedInputPos += len(pendingInput)
+	}
+}
+
+// streamCheckpoint flushes pending log data and emits the snapshot as a
+// checkpoint segment. The preceding flush guarantees the snapshot's
+// ChunkPos/InputPos match the streamed counts exactly, so a salvaged
+// prefix that includes the checkpoint can always resume from it.
+func (m *Machine) streamCheckpoint(ck *Checkpoint) {
+	if m.stream == nil {
+		return
+	}
+	m.flushStream()
+	cp := &segment.CheckpointPayload{
+		RetiredAt: ck.RetiredAt,
+		MemImage:  ck.Mem.LoadBytes(0, ck.Mem.Size()),
+		HandlerPC: ck.HandlerPC,
+		HandlerOK: ck.HandlerOK,
+		Output:    ck.Output,
+		ChunkPos:  append([]int(nil), ck.ChunkPos...),
+		InputPos:  ck.InputPos,
+	}
+	for _, ts := range ck.Threads {
+		cp.Contexts = append(cp.Contexts, ts.Ctx)
+		cp.Exited = append(cp.Exited, ts.Exited)
+		cp.SigRegs = append(cp.SigRegs, ts.SigRegs)
+		cp.SigPC = append(cp.SigPC, ts.SigPC)
+	}
+	m.stream.WriteCheckpoint(cp)
+}
+
+// finishStream flushes the last epoch and closes the stream with the
+// reference final state.
+func (m *Machine) finishStream(res *Result) {
+	if m.stream == nil {
+		return
+	}
+	m.flushStream()
+	m.stream.WriteFinal(&segment.FinalPayload{
+		MemChecksum:      res.MemChecksum,
+		Output:           res.Output,
+		FinalContexts:    res.FinalContexts,
+		RetiredPerThread: res.RetiredPerThread,
+	})
+	res.StreamSegments = m.stream.Segments()
+	res.StreamBytes = m.stream.TotalBytes()
+	res.StreamFramingBytes = m.stream.FramingBytes()
+}

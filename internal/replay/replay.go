@@ -55,6 +55,27 @@ type Input struct {
 	// chunk size can send a spin-wait loop chasing an astronomically
 	// distant boundary; the budget turns that hang into a detection.
 	MaxSteps uint64
+	// AllowTruncated accepts a salvaged recording prefix: when the logs
+	// run out with threads still mid-execution, replay returns normally
+	// with Result.Truncation describing them instead of reporting a
+	// divergence. Everything executed up to that point was still fully
+	// validated — truncation is a property of the log, not a waiver of
+	// checking.
+	AllowTruncated bool
+}
+
+// TruncatedReplay describes a best-effort prefix replay that consumed a
+// truncated log: the recording ended before these threads halted or
+// exited. Present on Result only when Input.AllowTruncated was set.
+type TruncatedReplay struct {
+	// Threads lists the thread IDs whose logs ran out mid-execution.
+	Threads []int
+}
+
+// String summarises the truncation.
+func (t *TruncatedReplay) String() string {
+	return fmt.Sprintf("replay truncated: %d thread(s) still running at log exhaustion %v",
+		len(t.Threads), t.Threads)
 }
 
 // StartState is a checkpoint the replayer can resume from: the
@@ -97,6 +118,10 @@ type Result struct {
 	// FinalMem is the replayed memory image, for inspection (its
 	// checksum equals MemChecksum).
 	FinalMem *mem.Memory
+	// Truncation is non-nil when AllowTruncated was set and the logs ran
+	// out before every thread halted or exited: the replay is a validated
+	// prefix of the recorded execution, not the whole of it.
+	Truncation *TruncatedReplay
 }
 
 // DivergenceError reports that the replayed execution departed from the
@@ -526,7 +551,17 @@ func (r *replayer) finish() (*Result, error) {
 	for _, t := range r.threads {
 		if !t.exited {
 			if !t.core.Halted() {
-				return nil, r.diverge(t, "log exhausted but thread neither halted nor exited")
+				if !r.in.AllowTruncated {
+					return nil, r.diverge(t, "log exhausted but thread neither halted nor exited")
+				}
+				// Threads are never mid-syscall here: a chunk ends before
+				// the syscall instruction executes, and applySyscall always
+				// completes or aborts the trap within one item. SaveContext
+				// is therefore well-defined at log exhaustion.
+				if r.res.Truncation == nil {
+					r.res.Truncation = &TruncatedReplay{}
+				}
+				r.res.Truncation.Threads = append(r.res.Truncation.Threads, t.id)
 			}
 			t.finalCtx = t.core.SaveContext()
 		}

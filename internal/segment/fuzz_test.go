@@ -1,0 +1,92 @@
+package segment_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/capo"
+	"repro/internal/chunk"
+	"repro/internal/isa"
+	"repro/internal/segment"
+)
+
+// corpusStream is a small valid stream seeding the fuzzer: manifest, one
+// epoch with a chunk and input batch, and a final segment.
+func corpusStream() []byte {
+	var buf bytes.Buffer
+	w := segment.NewWriter(&buf)
+	w.WriteManifest(segment.Manifest{
+		ProgramName: "fuzz", Threads: 1, StackWordsPerThread: 16,
+		EncodingID: chunk.DeltaID, FlushEveryChunks: 2,
+	})
+	w.WriteCommit(segment.Commit{
+		Epoch: 0, Watermark: []uint64{9}, Exited: []bool{true},
+		ChunkCount: []int{2}, InputCount: []int{1},
+	})
+	w.WriteChunkBatch(0, []chunk.Entry{
+		{Size: 3, TS: 1, Reason: chunk.ReasonSyscall},
+		{Size: 4, TS: 6, Reason: chunk.ReasonFlush},
+	})
+	w.WriteInputBatch([]capo.Record{
+		{Kind: capo.KindSyscall, Thread: 0, Seq: 0, TS: 4, Sysno: 2, Ret: 7, Data: []byte{0xaa}},
+	})
+	w.WriteFinal(&segment.FinalPayload{
+		MemChecksum: 1, Output: []byte("ok"),
+		FinalContexts:    []isa.Context{{PC: 2, Retired: 7, Halted: true}},
+		RetiredPerThread: []uint64{7},
+	})
+	return buf.Bytes()
+}
+
+// FuzzSegmentStream feeds arbitrary bytes to the salvage scanner. The
+// scanner must never panic, never keep bytes past the input, and every
+// stream it reports as cleanly complete must also satisfy the strict
+// decoder. A salvaged prefix must itself salvage to the same content
+// (salvage is idempotent) — otherwise a second recovery pass could
+// silently change the replayed execution.
+func FuzzSegmentStream(f *testing.F) {
+	valid := corpusStream()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5]) // torn tail
+	badCRC := append([]byte(nil), valid...)
+	badCRC[len(badCRC)-1] ^= 0x40 // corrupt final segment's checksum
+	f.Add(badCRC)
+	offs := segment.Offsets(valid)
+	dup := append([]byte(nil), valid[:offs[1]]...) // duplicate commit segment
+	dup = append(dup, valid[offs[0]:offs[1]]...)
+	dup = append(dup, valid[offs[1]:]...)
+	f.Add(dup)
+	f.Add([]byte{})
+	f.Add([]byte("QRSG"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, rep, err := segment.Salvage(data)
+		if err != nil {
+			return
+		}
+		if rep.BytesKept > len(data) {
+			t.Fatalf("kept %d bytes of a %d-byte input", rep.BytesKept, len(data))
+		}
+		if rep.Complete && rep.Reason == "" {
+			if _, err := segment.Decode(data[:rep.BytesKept]); err != nil {
+				t.Fatalf("complete salvage rejected by strict decode: %v", err)
+			}
+		}
+		again, rep2, err := segment.Salvage(data[:rep.BytesKept])
+		if err != nil {
+			t.Fatalf("re-salvage of kept prefix failed: %v", err)
+		}
+		if rep2.BytesKept != rep.BytesKept {
+			t.Fatalf("re-salvage kept %d bytes, first pass kept %d", rep2.BytesKept, rep.BytesKept)
+		}
+		for th := range st.ChunkLogs {
+			if again.ChunkLogs[th].Len() != st.ChunkLogs[th].Len() {
+				t.Fatalf("re-salvage changed thread %d entry count: %d vs %d",
+					th, again.ChunkLogs[th].Len(), st.ChunkLogs[th].Len())
+			}
+		}
+		if again.InputLog.Len() != st.InputLog.Len() {
+			t.Fatalf("re-salvage changed input count: %d vs %d", again.InputLog.Len(), st.InputLog.Len())
+		}
+	})
+}

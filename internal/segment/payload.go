@@ -1,0 +1,428 @@
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Manifest is the stream's opening segment: everything a reader needs to
+// interpret the rest of the stream and rebuild a recording's metadata.
+type Manifest struct {
+	// ProgramName names the recorded program.
+	ProgramName string
+	// Threads is the recorded thread count.
+	Threads int
+	// StackWordsPerThread reproduces the recorder's address-space layout.
+	StackWordsPerThread uint64
+	// CountRepIterations records the hardware's counting convention.
+	CountRepIterations bool
+	// EncodingID selects the chunk-entry encoding for chunk batches.
+	EncodingID byte
+	// FlushEveryChunks documents the flush cadence the stream was written
+	// with (informational).
+	FlushEveryChunks uint64
+}
+
+const manifestVersion = 1
+
+func appendManifest(dst []byte, m Manifest) []byte {
+	dst = append(dst, manifestVersion)
+	var flags byte
+	if m.CountRepIterations {
+		flags |= 1
+	}
+	dst = append(dst, flags, m.EncodingID)
+	dst = binary.AppendUvarint(dst, uint64(m.Threads))
+	dst = binary.AppendUvarint(dst, m.StackWordsPerThread)
+	dst = binary.AppendUvarint(dst, m.FlushEveryChunks)
+	dst = binary.AppendUvarint(dst, uint64(len(m.ProgramName)))
+	return append(dst, m.ProgramName...)
+}
+
+func decodeManifest(data []byte) (Manifest, error) {
+	var m Manifest
+	if len(data) < 3 {
+		return m, fmt.Errorf("%w: short manifest", ErrTruncated)
+	}
+	if data[0] != manifestVersion {
+		return m, fmt.Errorf("%w: manifest version %d", ErrCorrupt, data[0])
+	}
+	if data[1] > 1 {
+		return m, fmt.Errorf("%w: manifest flags %#x", ErrCorrupt, data[1])
+	}
+	m.CountRepIterations = data[1]&1 != 0
+	m.EncodingID = data[2]
+	rd := &reader{data: data, pos: 3}
+	threads, err := rd.uvarint()
+	if err != nil {
+		return m, err
+	}
+	if threads == 0 || threads > 1<<16 {
+		return m, fmt.Errorf("%w: implausible thread count %d", ErrCorrupt, threads)
+	}
+	m.Threads = int(threads)
+	if m.StackWordsPerThread, err = rd.uvarint(); err != nil {
+		return m, err
+	}
+	if m.FlushEveryChunks, err = rd.uvarint(); err != nil {
+		return m, err
+	}
+	name, err := rd.bytes()
+	if err != nil {
+		return m, err
+	}
+	m.ProgramName = string(name)
+	if err := rd.done(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// Commit opens a flush epoch. It is written *before* the epoch's data
+// segments and declares, per thread: the recorder clock at the flush
+// point (Watermark — every already-emitted item of that thread has a
+// strictly smaller timestamp, every later item a greater-or-equal one),
+// whether the thread has exited, and how many chunk entries / input
+// records the epoch's batches will carry. A salvage scanner uses these
+// to compute per-thread completeness for a torn trailing epoch.
+type Commit struct {
+	Epoch      uint64
+	Watermark  []uint64
+	Exited     []bool
+	ChunkCount []int
+	InputCount []int
+}
+
+func appendCommit(dst []byte, c Commit) []byte {
+	dst = binary.AppendUvarint(dst, c.Epoch)
+	for t := range c.Watermark {
+		dst = binary.AppendUvarint(dst, c.Watermark[t])
+		var flags byte
+		if c.Exited[t] {
+			flags |= 1
+		}
+		dst = append(dst, flags)
+		dst = binary.AppendUvarint(dst, uint64(c.ChunkCount[t]))
+		dst = binary.AppendUvarint(dst, uint64(c.InputCount[t]))
+	}
+	return dst
+}
+
+func decodeCommit(data []byte, threads int) (Commit, error) {
+	c := Commit{
+		Watermark:  make([]uint64, threads),
+		Exited:     make([]bool, threads),
+		ChunkCount: make([]int, threads),
+		InputCount: make([]int, threads),
+	}
+	rd := &reader{data: data}
+	var err error
+	if c.Epoch, err = rd.uvarint(); err != nil {
+		return c, err
+	}
+	for t := 0; t < threads; t++ {
+		if c.Watermark[t], err = rd.uvarint(); err != nil {
+			return c, err
+		}
+		flags, err := rd.byte()
+		if err != nil {
+			return c, err
+		}
+		if flags > 1 {
+			return c, fmt.Errorf("%w: commit flags %#x", ErrCorrupt, flags)
+		}
+		c.Exited[t] = flags&1 != 0
+		n, err := rd.uvarint()
+		if err != nil {
+			return c, err
+		}
+		if n > maxPayload {
+			return c, fmt.Errorf("%w: implausible chunk count %d", ErrCorrupt, n)
+		}
+		c.ChunkCount[t] = int(n)
+		if n, err = rd.uvarint(); err != nil {
+			return c, err
+		}
+		if n > maxPayload {
+			return c, fmt.Errorf("%w: implausible input count %d", ErrCorrupt, n)
+		}
+		c.InputCount[t] = int(n)
+	}
+	if err := rd.done(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// CheckpointPayload is a flight-recorder snapshot in stream form —
+// a neutral mirror of machine.Checkpoint (segment cannot import machine:
+// machine imports segment).
+type CheckpointPayload struct {
+	// RetiredAt is the global retired-instruction count at the snapshot.
+	RetiredAt uint64
+	// MemImage is the architectural memory image bytes.
+	MemImage []byte
+	// Per-thread state, indexed by thread ID.
+	Contexts []isa.Context
+	Exited   []bool
+	SigRegs  [][isa.NumRegs]uint64
+	SigPC    []int
+	// HandlerPC/HandlerOK mirror the registered signal handler.
+	HandlerPC int
+	HandlerOK bool
+	// Output is fd-1 output written before the snapshot.
+	Output []byte
+	// ChunkPos[t] is thread t's chunk-log length at the snapshot;
+	// InputPos the input-log length. Both equal the counts streamed so
+	// far, since a checkpoint segment is always preceded by a flush.
+	ChunkPos []int
+	InputPos int
+}
+
+func appendCheckpointPayload(dst []byte, cp *CheckpointPayload) []byte {
+	dst = binary.AppendUvarint(dst, cp.RetiredAt)
+	dst = binary.AppendUvarint(dst, uint64(len(cp.MemImage)))
+	dst = append(dst, cp.MemImage...)
+	for t := range cp.Contexts {
+		dst = appendContext(dst, cp.Contexts[t])
+		var flags byte
+		if cp.Exited[t] {
+			flags |= 1
+		}
+		dst = append(dst, flags)
+		for _, r := range cp.SigRegs[t] {
+			dst = binary.AppendUvarint(dst, r)
+		}
+		dst = binary.AppendUvarint(dst, uint64(cp.SigPC[t]))
+		dst = binary.AppendUvarint(dst, uint64(cp.ChunkPos[t]))
+	}
+	dst = binary.AppendUvarint(dst, uint64(cp.InputPos))
+	dst = binary.AppendUvarint(dst, uint64(cp.HandlerPC))
+	var flags byte
+	if cp.HandlerOK {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(len(cp.Output)))
+	return append(dst, cp.Output...)
+}
+
+func decodeCheckpointPayload(data []byte, threads int) (*CheckpointPayload, error) {
+	cp := &CheckpointPayload{}
+	rd := &reader{data: data}
+	var err error
+	if cp.RetiredAt, err = rd.uvarint(); err != nil {
+		return nil, err
+	}
+	if cp.MemImage, err = rd.bytes(); err != nil {
+		return nil, err
+	}
+	for t := 0; t < threads; t++ {
+		ctx, err := rd.context()
+		if err != nil {
+			return nil, err
+		}
+		cp.Contexts = append(cp.Contexts, ctx)
+		flags, err := rd.byte()
+		if err != nil {
+			return nil, err
+		}
+		cp.Exited = append(cp.Exited, flags&1 != 0)
+		var regs [isa.NumRegs]uint64
+		for i := range regs {
+			if regs[i], err = rd.uvarint(); err != nil {
+				return nil, err
+			}
+		}
+		cp.SigRegs = append(cp.SigRegs, regs)
+		pc, err := rd.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		cp.SigPC = append(cp.SigPC, int(pc))
+		pos, err := rd.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if pos > maxPayload {
+			return nil, fmt.Errorf("%w: implausible checkpoint chunk position %d", ErrCorrupt, pos)
+		}
+		cp.ChunkPos = append(cp.ChunkPos, int(pos))
+	}
+	pos, err := rd.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if pos > maxPayload {
+		return nil, fmt.Errorf("%w: implausible checkpoint input position %d", ErrCorrupt, pos)
+	}
+	cp.InputPos = int(pos)
+	hpc, err := rd.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	cp.HandlerPC = int(hpc)
+	flags, err := rd.byte()
+	if err != nil {
+		return nil, err
+	}
+	if flags > 1 {
+		return nil, fmt.Errorf("%w: checkpoint flags %#x", ErrCorrupt, flags)
+	}
+	cp.HandlerOK = flags&1 != 0
+	if cp.Output, err = rd.bytes(); err != nil {
+		return nil, err
+	}
+	if err := rd.done(); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// FinalPayload is the reference final state, written as the stream's
+// last segment. Its presence marks the stream complete.
+type FinalPayload struct {
+	MemChecksum      uint64
+	Output           []byte
+	FinalContexts    []isa.Context
+	RetiredPerThread []uint64
+}
+
+func appendFinalPayload(dst []byte, f *FinalPayload) []byte {
+	dst = binary.AppendUvarint(dst, f.MemChecksum)
+	dst = binary.AppendUvarint(dst, uint64(len(f.Output)))
+	dst = append(dst, f.Output...)
+	for t := range f.FinalContexts {
+		dst = appendContext(dst, f.FinalContexts[t])
+		dst = binary.AppendUvarint(dst, f.RetiredPerThread[t])
+	}
+	return dst
+}
+
+func decodeFinalPayload(data []byte, threads int) (*FinalPayload, error) {
+	f := &FinalPayload{}
+	rd := &reader{data: data}
+	var err error
+	if f.MemChecksum, err = rd.uvarint(); err != nil {
+		return nil, err
+	}
+	if f.Output, err = rd.bytes(); err != nil {
+		return nil, err
+	}
+	for t := 0; t < threads; t++ {
+		ctx, err := rd.context()
+		if err != nil {
+			return nil, err
+		}
+		f.FinalContexts = append(f.FinalContexts, ctx)
+		r, err := rd.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		f.RetiredPerThread = append(f.RetiredPerThread, r)
+	}
+	if err := rd.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// reader is a bounds-checked payload cursor; all failures wrap the
+// shared sentinels so salvage can classify them.
+type reader struct {
+	data []byte
+	pos  int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n == 0 {
+		return 0, fmt.Errorf("%w: payload ends mid-field", ErrTruncated)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("%w: varint overflow", ErrCorrupt)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.pos >= len(r.data) {
+		return 0, fmt.Errorf("%w: payload ends mid-field", ErrTruncated)
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Compare as uint64: a huge length must not overflow int.
+	if n > uint64(len(r.data)-r.pos) {
+		return nil, fmt.Errorf("%w: length %d overruns payload", ErrTruncated, n)
+	}
+	out := append([]byte(nil), r.data[r.pos:r.pos+int(n)]...)
+	r.pos += int(n)
+	return out, nil
+}
+
+func (r *reader) context() (isa.Context, error) {
+	var ctx isa.Context
+	for i := range ctx.Regs {
+		v, err := r.uvarint()
+		if err != nil {
+			return ctx, err
+		}
+		ctx.Regs[i] = v
+	}
+	pc, err := r.uvarint()
+	if err != nil {
+		return ctx, err
+	}
+	ctx.PC = int(pc)
+	if ctx.Retired, err = r.uvarint(); err != nil {
+		return ctx, err
+	}
+	flags, err := r.byte()
+	if err != nil {
+		return ctx, err
+	}
+	if flags > 3 {
+		return ctx, fmt.Errorf("%w: context flags %#x", ErrCorrupt, flags)
+	}
+	ctx.Halted = flags&1 != 0
+	ctx.RepActive = flags&2 != 0
+	if ctx.RepDone, err = r.uvarint(); err != nil {
+		return ctx, err
+	}
+	return ctx, nil
+}
+
+func (r *reader) done() error {
+	if r.pos != len(r.data) {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(r.data)-r.pos)
+	}
+	return nil
+}
+
+func appendContext(dst []byte, ctx isa.Context) []byte {
+	for _, r := range ctx.Regs {
+		dst = binary.AppendUvarint(dst, r)
+	}
+	dst = binary.AppendUvarint(dst, uint64(ctx.PC))
+	dst = binary.AppendUvarint(dst, ctx.Retired)
+	var flags byte
+	if ctx.Halted {
+		flags |= 1
+	}
+	if ctx.RepActive {
+		flags |= 2
+	}
+	dst = append(dst, flags)
+	return binary.AppendUvarint(dst, ctx.RepDone)
+}

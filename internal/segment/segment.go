@@ -1,0 +1,228 @@
+// Package segment implements the crash-consistent streaming form of a
+// QuickRec recording: a sequence of self-describing, individually
+// checksummed segments that the recorder emits incrementally, so a
+// writer that dies mid-run still leaves a salvageable prefix on disk.
+//
+// Wire format (little-endian):
+//
+//	segment := magic[4]="QRSG" | seq u32 | kind u8 | plen u32 | payload[plen] | crc u32
+//
+// crc is CRC-32C (Castagnoli) over seq|kind|plen|payload — everything
+// after the magic. CRC-32C detects all single-bit errors and all burst
+// errors up to 32 bits, which is what the conformance sweep asserts.
+//
+// A stream is: one Manifest, then flush epochs (each a Commit followed
+// by the chunk/input batches it announces), Checkpoint segments at
+// flight-recorder boundaries, and a Final segment carrying the reference
+// state. The commit-first discipline is what makes torn-write salvage
+// sound: a Commit declares per-thread clock watermarks and expected
+// batch counts *before* the data, so a scanner can always tell how much
+// of the trailing epoch survived (see Salvage).
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/capo"
+	"repro/internal/chunk"
+)
+
+// Kind tags a segment's payload type.
+type Kind uint8
+
+// Segment kinds.
+const (
+	// KindManifest opens a stream: program identity, thread count,
+	// chunk-log encoding. Always segment 0.
+	KindManifest Kind = 1
+	// KindCommit opens a flush epoch: per-thread clock watermarks and the
+	// batch counts that follow.
+	KindCommit Kind = 2
+	// KindChunk carries one thread's chunk entries for the current epoch.
+	KindChunk Kind = 3
+	// KindInput carries the current epoch's input records (all threads).
+	KindInput Kind = 4
+	// KindCheckpoint carries a flight-recorder snapshot.
+	KindCheckpoint Kind = 5
+	// KindFinal carries the reference final state; its presence marks the
+	// stream complete.
+	KindFinal Kind = 6
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindManifest:
+		return "manifest"
+	case KindCommit:
+		return "commit"
+	case KindChunk:
+		return "chunk"
+	case KindInput:
+		return "input"
+	case KindCheckpoint:
+		return "checkpoint"
+	case KindFinal:
+		return "final"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Errors wrap the shared chunk.ErrTruncated / chunk.ErrCorrupt sentinels
+// so stream faults triage exactly like chunk- and input-log faults.
+var (
+	// ErrTruncated reports a stream that ends mid-segment (a torn write).
+	ErrTruncated = fmt.Errorf("segment: torn stream: %w", chunk.ErrTruncated)
+	// ErrCorrupt reports a stream that fails structural validation or a
+	// checksum.
+	ErrCorrupt = fmt.Errorf("segment: corrupt stream: %w", chunk.ErrCorrupt)
+)
+
+var streamMagic = [4]byte{'Q', 'R', 'S', 'G'}
+
+const (
+	headerSize  = 4 + 4 + 1 + 4 // magic, seq, kind, plen
+	trailerSize = 4             // crc32c
+	// maxPayload bounds a single segment; plen fields beyond it are
+	// treated as corruption rather than allocated.
+	maxPayload = 1 << 30
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Writer emits a segmented stream. Errors from the underlying io.Writer
+// are sticky: the first failure is retained and every later Write*
+// becomes a no-op, so the recorder can run to completion and surface the
+// stream error once at the end.
+type Writer struct {
+	w       io.Writer
+	err     error
+	seq     uint32
+	scratch []byte
+
+	enc     chunk.Encoding
+	threads int
+
+	segments   int
+	totalBytes uint64
+	// framingBytes counts non-log overhead: headers, CRCs, and commit
+	// payloads (the bookkeeping that exists only because of streaming).
+	framingBytes uint64
+}
+
+// NewWriter returns a Writer emitting to w. WriteManifest must be the
+// first call; it fixes the thread count and chunk encoding the batch
+// helpers use.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+// Err returns the first underlying write or usage error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Segments returns the number of segments written so far.
+func (w *Writer) Segments() int { return w.segments }
+
+// TotalBytes returns the total stream bytes written so far.
+func (w *Writer) TotalBytes() uint64 { return w.totalBytes }
+
+// FramingBytes returns the streaming-only overhead written so far:
+// segment headers, checksums, and commit payloads.
+func (w *Writer) FramingBytes() uint64 { return w.framingBytes }
+
+// writeSegment frames payload under kind and emits it.
+func (w *Writer) writeSegment(kind Kind, payload []byte) {
+	if w.err != nil {
+		return
+	}
+	if len(payload) > maxPayload {
+		w.err = fmt.Errorf("segment: payload of %d bytes exceeds limit", len(payload))
+		return
+	}
+	n := headerSize + len(payload) + trailerSize
+	if cap(w.scratch) < n {
+		w.scratch = make([]byte, 0, n+1024)
+	}
+	buf := w.scratch[:0]
+	buf = append(buf, streamMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, w.seq)
+	buf = append(buf, byte(kind))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	crc := crc32.Checksum(buf[4:], castagnoli)
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	if _, err := w.w.Write(buf); err != nil {
+		w.err = fmt.Errorf("segment: write: %w", err)
+		return
+	}
+	w.seq++
+	w.segments++
+	w.totalBytes += uint64(len(buf))
+	w.framingBytes += uint64(headerSize + trailerSize)
+	if kind == KindCommit {
+		w.framingBytes += uint64(len(payload))
+	}
+	w.scratch = buf[:0]
+}
+
+// WriteManifest opens the stream. It must be the first segment.
+func (w *Writer) WriteManifest(m Manifest) {
+	if w.err == nil && w.seq != 0 {
+		w.err = fmt.Errorf("segment: manifest must be the first segment (seq %d)", w.seq)
+		return
+	}
+	enc, err := chunk.ByID(m.EncodingID)
+	if w.err == nil && err != nil {
+		w.err = err
+		return
+	}
+	w.enc = enc
+	w.threads = m.Threads
+	w.writeSegment(KindManifest, appendManifest(nil, m))
+}
+
+// WriteCommit opens a flush epoch.
+func (w *Writer) WriteCommit(c Commit) {
+	if w.err == nil && (len(c.Watermark) != w.threads || len(c.Exited) != w.threads ||
+		len(c.ChunkCount) != w.threads || len(c.InputCount) != w.threads) {
+		w.err = fmt.Errorf("segment: commit arrays do not match %d threads", w.threads)
+		return
+	}
+	w.writeSegment(KindCommit, appendCommit(nil, c))
+}
+
+// WriteChunkBatch emits thread's pending chunk entries. Delta encoding
+// restarts at each batch (the first entry carries an absolute
+// timestamp), so every batch decodes independently.
+func (w *Writer) WriteChunkBatch(thread int, entries []chunk.Entry) {
+	if w.err == nil && w.enc == nil {
+		w.err = fmt.Errorf("segment: chunk batch before manifest")
+		return
+	}
+	payload := binary.AppendUvarint(nil, uint64(thread))
+	payload = binary.AppendUvarint(payload, uint64(len(entries)))
+	var prev *chunk.Entry
+	for i := range entries {
+		payload = w.enc.Append(payload, entries[i], prev)
+		prev = &entries[i]
+	}
+	w.writeSegment(KindChunk, payload)
+}
+
+// WriteInputBatch emits the epoch's pending input records.
+func (w *Writer) WriteInputBatch(recs []capo.Record) {
+	w.writeSegment(KindInput, capo.MarshalRecords(recs))
+}
+
+// WriteCheckpoint emits a flight-recorder snapshot.
+func (w *Writer) WriteCheckpoint(cp *CheckpointPayload) {
+	w.writeSegment(KindCheckpoint, appendCheckpointPayload(nil, cp))
+}
+
+// WriteFinal closes the stream with the reference final state.
+func (w *Writer) WriteFinal(f *FinalPayload) {
+	w.writeSegment(KindFinal, appendFinalPayload(nil, f))
+}

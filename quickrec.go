@@ -22,6 +22,7 @@ package quickrec
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/capo"
 	"repro/internal/chunk"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/qasm"
 	"repro/internal/replay"
+	"repro/internal/segment"
 	"repro/internal/workload"
 )
 
@@ -130,6 +132,11 @@ type Options struct {
 	// Encoding selects the chunk-log format: "fixed16", "varint" or
 	// "ts-delta" (default).
 	Encoding string
+	// FlushEveryChunks is the segmented-stream flush cadence for
+	// StreamRecord: logs are committed to the stream after that many new
+	// chunks (0 = the default, 1024). Smaller values tighten the
+	// crash-consistency window at the cost of framing overhead.
+	FlushEveryChunks uint64
 }
 
 func (o Options) config(mode machine.RecordingMode) (machine.Config, error) {
@@ -151,6 +158,7 @@ func (o Options) config(mode machine.RecordingMode) (machine.Config, error) {
 	}
 	cfg.SignalPeriodInstrs = o.SignalPeriodInstrs
 	cfg.CheckpointEveryInstrs = o.CheckpointEveryInstrs
+	cfg.FlushEveryChunks = o.FlushEveryChunks
 	if o.Encoding != "" {
 		var found bool
 		for _, e := range chunk.Encodings() {
@@ -295,3 +303,53 @@ func Conformance(cfg ConformanceConfig) (*ConformanceReport, error) { return har
 // state as the full recording, with bounded log volume — the mechanism
 // behind always-on RnR.
 func Tail(rec *Recording) (*Recording, error) { return core.Tail(rec) }
+
+// StreamRecord records prog while streaming the session to w as a
+// segmented, checksummed log stream (see docs/INTERNALS.md §10). The
+// returned recording is the same one Record would produce; the stream is
+// its crash-consistent twin — if the recorder dies mid-run, Salvage
+// recovers a consistent, replayable prefix from whatever reached w.
+func StreamRecord(prog *Program, opts Options, w io.Writer) (*Recording, error) {
+	mode := machine.ModeFull
+	if opts.HardwareOnly {
+		mode = machine.ModeHardwareOnly
+	}
+	cfg, err := opts.config(mode)
+	if err != nil {
+		return nil, err
+	}
+	return core.StreamRecord(prog, cfg, w)
+}
+
+// Salvaged is a recording recovered from a (possibly damaged) segmented
+// stream: the reconstructed Recording (Partial when the stream was
+// torn), the salvage report, and — via Tail — the flight-recorder tail
+// when a checkpoint survived.
+type Salvaged = core.Salvaged
+
+// SalvageReport describes what a salvage pass kept and why it stopped.
+type SalvageReport = segment.Report
+
+// Salvage scans a segmented stream written by StreamRecord (typically
+// read back from disk after a crash), discards any torn or corrupt
+// suffix, and reconstructs the longest consistent recording prefix. It
+// errors only when no usable manifest exists; lesser damage yields a
+// Partial recording whose replay stops where the logs run out
+// (ReplayResult.Truncation says where) and which Verify rejects, since
+// there is no reference final state to verify against.
+func Salvage(data []byte) (*Salvaged, error) { return core.SalvageStream(data) }
+
+// TruncatedReplay describes where a best-effort prefix replay of a
+// Partial recording ran out of log.
+type TruncatedReplay = replay.TruncatedReplay
+
+// CrashConfig parameterises CrashConformance; the zero value (filled
+// with defaults) is the acceptance sweep.
+type CrashConfig = harness.CrashConfig
+
+// CrashConformance sweeps simulated recorder crashes over segmented
+// streams: cuts at every segment boundary, random intra-segment torn
+// writes, and single-bit corruption. Every crash point must produce an
+// explicit typed decode error or a verified prefix replay — never a
+// silent wrong replay. Findings land in a ConformanceReport.
+func CrashConformance(cfg CrashConfig) (*ConformanceReport, error) { return harness.CrashSweep(cfg) }
