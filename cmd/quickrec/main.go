@@ -12,10 +12,13 @@
 //	quickrec inspect -i radix.qrec
 //	quickrec debug   -i radix.qrec -t 1 -n 5000 -trace 10
 //	quickrec analyze -i radix.qrec
+//	quickrec record  -w racy -sigs -o racy.qrec
+//	quickrec race    -i racy.qrec -json
 //	quickrec record  -prog examples/qasm/demo.qasm -o demo.qrec
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -51,6 +54,8 @@ func main() {
 		err = cmdDebug(args)
 	case "analyze":
 		err = cmdAnalyze(args)
+	case "race":
+		err = cmdRace(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -62,16 +67,17 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: quickrec <list|record|replay|verify|salvage|inspect|debug|analyze> [flags]
+	fmt.Fprintln(os.Stderr, `usage: quickrec <list|record|replay|verify|salvage|inspect|debug|analyze|race> [flags]
   list                             show the workload catalogue
-  record  -w NAME | -prog FILE.qasm [-threads N] [-seed S] [-hw] [-stream FILE [-flush N]] -o FILE
+  record  -w NAME | -prog FILE.qasm [-threads N] [-seed S] [-hw] [-sigs] [-stream FILE [-flush N]] -o FILE
   replay  -w NAME -i FILE          replay a recording
   verify  -w NAME -i FILE          replay and verify against the recording
   salvage -i FILE [-o FILE] [-replay] [-tail]
                                    recover a consistent prefix from a (damaged) stream
   inspect -i FILE                  summarise a recording's logs
   debug   -i FILE -t TID -n COUNT  replay to thread TID's COUNT-th instruction and dump state
-  analyze -i FILE                  post-mortem statistics: chunking, conflicts, concurrency`)
+  analyze -i FILE                  post-mortem statistics: chunking, conflicts, concurrency
+  race    -i FILE [-json]          offline race detection over a -sigs recording`)
 }
 
 func cmdList() error {
@@ -90,6 +96,7 @@ func cmdRecord(args []string) error {
 	threads := fs.Int("threads", 4, "thread count")
 	seed := fs.Uint64("seed", 1, "scheduler seed")
 	hw := fs.Bool("hw", false, "hardware-only cost accounting")
+	sigs := fs.Bool("sigs", false, "capture per-chunk Bloom signatures (enables `quickrec race`)")
 	out := fs.String("o", "", "output recording file")
 	stream := fs.String("stream", "", "also write the crash-consistent segmented stream to this file")
 	flush := fs.Uint64("flush", 0, "stream flush cadence in chunks (0 = default)")
@@ -104,7 +111,8 @@ func cmdRecord(args []string) error {
 	if *name == "" {
 		*name = prog.Name
 	}
-	opts := quickrec.Options{Threads: *threads, Seed: *seed, HardwareOnly: *hw, FlushEveryChunks: *flush}
+	opts := quickrec.Options{Threads: *threads, Seed: *seed, HardwareOnly: *hw,
+		CaptureSignatures: *sigs, FlushEveryChunks: *flush}
 	var rec *quickrec.Recording
 	if *stream != "" {
 		f, err := os.Create(*stream)
@@ -376,6 +384,54 @@ func cmdAnalyze(args []string) error {
 		rt.AddRow(chunk.Reason(k).String(), report.U(rep.Reasons.Get(k)), report.Pct(rep.Reasons.Fraction(k)))
 	}
 	fmt.Print(rt.String())
+	return nil
+}
+
+func cmdRace(args []string) error {
+	fs := flag.NewFlagSet("race", flag.ExitOnError)
+	name := fs.String("w", "", "workload name")
+	progPath := fs.String("prog", "", "qasm program file (alternative to -w)")
+	in := fs.String("i", "", "recording file (made with record -sigs)")
+	asJSON := fs.Bool("json", false, "emit the full report as JSON")
+	fs.Parse(args)
+	rec, err := loadRecording(fs, *in)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		*name = rec.ProgramName
+	}
+	prog, err := loadProgram(*name, *progPath, rec.Threads)
+	if err != nil {
+		return err
+	}
+	rep, err := quickrec.Races(prog, rec)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Printf("race detection over %q: %d threads, %d chunks, %d concurrent pairs\n",
+		rep.Program, rep.Threads, rep.TotalChunks, rep.ConcurrentPairs)
+	fmt.Printf("screening: %d candidate pairs; confirmation: %d pairs with races, bloom false-positive rate %s\n",
+		len(rep.Candidates), rep.ConfirmedPairs, report.Pct(rep.FalsePositiveRate))
+	if len(rep.Races) == 0 {
+		fmt.Println("no races confirmed")
+		return nil
+	}
+	t := report.Table{
+		Title:   fmt.Sprintf("Confirmed data races (%d)", len(rep.Races)),
+		Columns: []string{"addr", "thread A", "pc A", "kind A", "thread B", "pc B", "kind B"},
+	}
+	for _, r := range rep.Races {
+		t.AddRow(fmt.Sprintf("%#x", r.Addr),
+			report.U(uint64(r.ThreadA)), report.U(uint64(r.PCA)), r.KindA,
+			report.U(uint64(r.ThreadB)), report.U(uint64(r.PCB)), r.KindB)
+	}
+	fmt.Print(t.String())
 	return nil
 }
 

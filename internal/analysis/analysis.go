@@ -101,7 +101,9 @@ func Analyze(logs []*chunk.Log, input *capo.InputLog) *Report {
 	if input != nil {
 		r.TotalInputs = input.Len()
 		for _, rec := range input.Records {
-			if rec.Thread < len(r.Threads) {
+			// A corrupt or hand-built log can carry a negative thread id;
+			// guard both ends before indexing.
+			if rec.Thread >= 0 && rec.Thread < len(r.Threads) {
 				r.Threads[rec.Thread].InputRecords++
 			}
 			distinctTS[rec.TS] = struct{}{}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"testing"
 
 	"repro/internal/capo"
@@ -61,6 +62,135 @@ func TestAnalyzeEmpty(t *testing.T) {
 	r := Analyze(nil, nil)
 	if r.TotalChunks != 0 || r.Concurrency != 0 {
 		t.Errorf("empty report: %+v", r)
+	}
+}
+
+func TestAnalyzeNegativeThreadRecord(t *testing.T) {
+	// A corrupt input log carrying a negative thread id must not panic
+	// and must not be attributed to any thread.
+	l0 := &chunk.Log{Thread: 0}
+	l0.Append(chunk.Entry{Size: 10, TS: 0, Reason: chunk.ReasonFlush})
+	in := &capo.InputLog{}
+	in.Append(capo.Record{Kind: capo.KindSyscall, Thread: -1, TS: 1})
+	in.Append(capo.Record{Kind: capo.KindSyscall, Thread: 0, TS: 2})
+
+	r := Analyze([]*chunk.Log{l0}, in)
+	if r.TotalInputs != 2 {
+		t.Errorf("TotalInputs = %d, want 2", r.TotalInputs)
+	}
+	if r.Threads[0].InputRecords != 1 {
+		t.Errorf("thread 0 InputRecords = %d, want 1 (negative-id record dropped)", r.Threads[0].InputRecords)
+	}
+}
+
+func TestReportMarshalsCleanly(t *testing.T) {
+	// encoding/json rejects NaN and Inf, so every derived ratio must
+	// stay finite even on degenerate recordings: empty logs, a log of
+	// zero-size chunks, and a lone input record with no chunks at all.
+	degenerate := []struct {
+		name string
+		logs []*chunk.Log
+		in   *capo.InputLog
+	}{
+		{"empty", nil, nil},
+		{"zero-size-chunks", func() []*chunk.Log {
+			l := &chunk.Log{Thread: 0}
+			l.Append(chunk.Entry{Size: 0, TS: 0, Reason: chunk.ReasonFlush})
+			l.Append(chunk.Entry{Size: 0, TS: 1, Reason: chunk.ReasonFlush})
+			return []*chunk.Log{l}
+		}(), nil},
+		{"input-only", nil, func() *capo.InputLog {
+			in := &capo.InputLog{}
+			in.Append(capo.Record{Kind: capo.KindSyscall, Thread: 0, TS: 0})
+			return in
+		}()},
+	}
+	for _, d := range degenerate {
+		r := Analyze(d.logs, d.in)
+		if _, err := json.Marshal(r); err != nil {
+			t.Errorf("%s: report does not marshal: %v", d.name, err)
+		}
+	}
+}
+
+func TestConcurrentPairs(t *testing.T) {
+	// Thread 0 chunks at ts 10, 20; thread 1 at ts 10, 30. Under the
+	// (prev, ts] convention chunk intervals are 0:(0,10],(10,20] and
+	// 1:(0,10],(10,30]. Pairs: (0,0)-(1,0) overlap outright,
+	// (0,1)-(1,1) overlap outright, and the boundary-sharing pairs
+	// (0,0)-(1,1) and (0,1)-(1,0) count as concurrent too, matching
+	// Analyze's overlap test.
+	l0 := &chunk.Log{Thread: 0}
+	l0.Append(chunk.Entry{Size: 10, TS: 10, Reason: chunk.ReasonFlush})
+	l0.Append(chunk.Entry{Size: 10, TS: 20, Reason: chunk.ReasonFlush})
+	l1 := &chunk.Log{Thread: 1}
+	l1.Append(chunk.Entry{Size: 10, TS: 10, Reason: chunk.ReasonFlush})
+	l1.Append(chunk.Entry{Size: 10, TS: 30, Reason: chunk.ReasonFlush})
+
+	pairs := ConcurrentPairs([]*chunk.Log{l0, l1})
+	want := map[ChunkPair]bool{
+		{ThreadA: 0, ChunkA: 0, ThreadB: 1, ChunkB: 0}: true,
+		{ThreadA: 0, ChunkA: 0, ThreadB: 1, ChunkB: 1}: true,
+		{ThreadA: 0, ChunkA: 1, ThreadB: 1, ChunkB: 0}: true,
+		{ThreadA: 0, ChunkA: 1, ThreadB: 1, ChunkB: 1}: true,
+	}
+	if len(pairs) != len(want) {
+		t.Fatalf("got %d pairs %v, want %d", len(pairs), pairs, len(want))
+	}
+	for _, p := range pairs {
+		if !want[p] {
+			t.Errorf("unexpected pair %+v", p)
+		}
+	}
+}
+
+func TestConcurrentPairsSerialized(t *testing.T) {
+	// Strictly alternating timestamps with no boundary sharing:
+	// thread 0 at ts 0 and 4, thread 1 at ts 2 and 6. Intervals
+	// 0:(0,0],(0,4] vs 1:(0,2],(2,6]. The first chunk of thread 0 is
+	// the degenerate (0,0] stamped at ts 0, which still counts as
+	// touching thread 1's opening chunk; the meat of the test is that
+	// the linear merge agrees with a brute-force quadratic check.
+	l0 := &chunk.Log{Thread: 0}
+	l0.Append(chunk.Entry{Size: 5, TS: 0, Reason: chunk.ReasonFlush})
+	l0.Append(chunk.Entry{Size: 5, TS: 4, Reason: chunk.ReasonFlush})
+	l1 := &chunk.Log{Thread: 1}
+	l1.Append(chunk.Entry{Size: 5, TS: 2, Reason: chunk.ReasonFlush})
+	l1.Append(chunk.Entry{Size: 5, TS: 6, Reason: chunk.ReasonFlush})
+	logs := []*chunk.Log{l0, l1}
+
+	got := map[ChunkPair]bool{}
+	for _, p := range ConcurrentPairs(logs) {
+		if got[p] {
+			t.Fatalf("duplicate pair %+v", p)
+		}
+		got[p] = true
+	}
+
+	// Brute force with the same (prev, ts] convention.
+	type span struct{ lo, hi uint64 }
+	mk := func(l *chunk.Log) []span {
+		var out []span
+		var prev uint64
+		for i, e := range l.Entries {
+			lo := prev
+			if i == 0 {
+				lo = 0
+			}
+			out = append(out, span{lo, e.TS + 1})
+			prev = e.TS
+		}
+		return out
+	}
+	s0, s1 := mk(l0), mk(l1)
+	for i, a := range s0 {
+		for j, b := range s1 {
+			p := ChunkPair{ThreadA: 0, ChunkA: i, ThreadB: 1, ChunkB: j}
+			overlap := a.lo < b.hi && b.lo < a.hi
+			if overlap != got[p] {
+				t.Errorf("pair %+v: brute force %v, ConcurrentPairs %v", p, overlap, got[p])
+			}
+		}
 	}
 }
 

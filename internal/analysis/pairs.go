@@ -1,0 +1,63 @@
+package analysis
+
+import "repro/internal/chunk"
+
+// ChunkPair names two chunks on different threads whose timestamp
+// intervals overlap, i.e. chunks the recorded Lamport order does not
+// serialize. ThreadA < ThreadB always holds; ChunkA and ChunkB are
+// indices into the respective thread's chunk log.
+type ChunkPair struct {
+	ThreadA int
+	ChunkA  int
+	ThreadB int
+	ChunkB  int
+}
+
+// ConcurrentPairs enumerates every cross-thread pair of
+// Lamport-concurrent chunks. A chunk occupies the interval
+// (previous same-thread ts, own ts], matching the replay scheduler's
+// view, and two chunks are concurrent when those intervals overlap.
+// Per-thread intervals are ascending, so each thread pair is a linear
+// merge rather than a quadratic scan.
+func ConcurrentPairs(logs []*chunk.Log) []ChunkPair {
+	type span struct {
+		lo, hi uint64 // (lo, hi]
+		idx    int
+	}
+	spans := make([][]span, len(logs))
+	for tid, l := range logs {
+		var prevTS uint64
+		for i, e := range l.Entries {
+			lo := prevTS
+			if i == 0 {
+				lo = 0
+			}
+			spans[tid] = append(spans[tid], span{lo: lo, hi: e.TS + 1, idx: i})
+			prevTS = e.TS
+		}
+	}
+
+	var pairs []ChunkPair
+	for a := 0; a < len(spans); a++ {
+		for b := a + 1; b < len(spans); b++ {
+			// Both lists ascend in lo and hi, so for each interval of
+			// thread a the matching run of thread b intervals starts no
+			// earlier than it did for the previous interval: slide a
+			// start pointer past intervals that end at or before sa.lo,
+			// then take every interval opening before sa.hi.
+			start := 0
+			for _, sa := range spans[a] {
+				for start < len(spans[b]) && spans[b][start].hi <= sa.lo {
+					start++
+				}
+				for j := start; j < len(spans[b]) && spans[b][j].lo < sa.hi; j++ {
+					pairs = append(pairs, ChunkPair{
+						ThreadA: a, ChunkA: sa.idx,
+						ThreadB: b, ChunkB: spans[b][j].idx,
+					})
+				}
+			}
+		}
+	}
+	return pairs
+}

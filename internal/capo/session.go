@@ -39,6 +39,7 @@ type Session struct {
 	onFlush func(FlushKind)
 
 	chunkLogs []*chunk.Log
+	sigLogs   [][]SigPair
 	input     InputLog
 	seq       []int // per-thread input sequence numbers
 
@@ -76,6 +77,32 @@ func NewSession(cfg SessionConfig, onFlush func(FlushKind)) *Session {
 	}
 	return s
 }
+
+// SigPair is one chunk's serialized read and write Bloom signatures,
+// captured at chunk termination. When signature capture is enabled the
+// per-thread sig log is parallel to the chunk log: entry i of either
+// describes the same chunk.
+type SigPair struct {
+	Read  []byte
+	Write []byte
+}
+
+// SigSink returns the recorder signature sink for thread tid. Captured
+// signature bytes are an offline-analysis artefact, not part of the
+// prototype's log stream, so they are deliberately excluded from CBUF
+// fill and byte accounting.
+func (s *Session) SigSink(tid int) func(read, write []byte) {
+	if s.sigLogs == nil {
+		s.sigLogs = make([][]SigPair, s.cfg.Threads)
+	}
+	return func(read, write []byte) {
+		s.sigLogs[tid] = append(s.sigLogs[tid], SigPair{Read: read, Write: write})
+	}
+}
+
+// SigLogs returns the per-thread signature logs, or nil when no sig sink
+// was ever installed.
+func (s *Session) SigLogs() [][]SigPair { return s.sigLogs }
 
 // ChunkSink returns the recorder sink for thread tid: it appends entries
 // to the thread's chunk log and models CBUF occupancy.

@@ -32,6 +32,9 @@ func (b *Bundle) Marshal() []byte {
 	if b.Partial {
 		flags |= 2
 	}
+	if b.SigLogs != nil {
+		flags |= 4
+	}
 	out = append(out, flags)
 	out = appendString(out, b.ProgramName)
 	out = binary.AppendUvarint(out, uint64(b.Threads))
@@ -58,6 +61,21 @@ func (b *Bundle) Marshal() []byte {
 		out = appendBytes(out, l.Marshal(chunk.Delta{}))
 	}
 	out = appendBytes(out, b.InputLog.Marshal())
+	if b.SigLogs != nil {
+		// One signature log per thread, parallel to the chunk logs; each
+		// pair is the chunk's serialized read then write filter.
+		for t := 0; t < b.Threads; t++ {
+			var pairs []capo.SigPair
+			if t < len(b.SigLogs) {
+				pairs = b.SigLogs[t]
+			}
+			out = binary.AppendUvarint(out, uint64(len(pairs)))
+			for _, p := range pairs {
+				out = appendBytes(out, p.Read)
+				out = appendBytes(out, p.Write)
+			}
+		}
+	}
 	if b.Checkpoint == nil {
 		return append(out, 0)
 	}
@@ -184,11 +202,12 @@ func UnmarshalBundle(data []byte) (*Bundle, error) {
 	if len(data) < 6 {
 		return nil, ErrCorruptBundle
 	}
-	if data[5] > 3 {
+	if data[5] > 7 {
 		return nil, fmt.Errorf("%w: unknown flags %#x", ErrCorruptBundle, data[5])
 	}
 	countReps := data[5]&1 != 0
 	partial := data[5]&2 != 0
+	hasSigs := data[5]&4 != 0
 	r := &bundleReader{data: data, pos: 6}
 	name, err := r.bytes()
 	if err != nil {
@@ -242,6 +261,32 @@ func UnmarshalBundle(data []byte) (*Bundle, error) {
 	}
 	if b.InputLog, err = capo.UnmarshalInputLog(raw); err != nil {
 		return nil, err
+	}
+	if hasSigs {
+		b.SigLogs = make([][]capo.SigPair, b.Threads)
+		for t := 0; t < b.Threads; t++ {
+			n, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			// Sig logs are parallel to chunk logs by construction; a
+			// count mismatch means corruption, and catching it here keeps
+			// the screening phase's pairwise indexing in bounds.
+			if int(n) != b.ChunkLogs[t].Len() {
+				return nil, fmt.Errorf("%w: thread %d has %d signature pairs for %d chunks",
+					ErrCorruptBundle, t, n, b.ChunkLogs[t].Len())
+			}
+			for i := uint64(0); i < n; i++ {
+				var p capo.SigPair
+				if p.Read, err = r.bytes(); err != nil {
+					return nil, err
+				}
+				if p.Write, err = r.bytes(); err != nil {
+					return nil, err
+				}
+				b.SigLogs[t] = append(b.SigLogs[t], p)
+			}
+		}
 	}
 	if r.pos >= len(data) {
 		return nil, fmt.Errorf("%w: missing checkpoint flag", ErrCorruptBundle)

@@ -58,6 +58,9 @@ func Tail(full *Bundle) (*Bundle, error) {
 		tail.ChunkLogs = append(tail.ChunkLogs, l.Slice(pos))
 	}
 	tail.InputLog = full.InputLog.Slice(ck.InputPos)
+	// SigLogs are deliberately dropped: slicing them at the checkpoint
+	// would need the same per-thread positions, and the race detector
+	// works on full recordings, not flight-recorder tails.
 	return tail, nil
 }
 

@@ -30,6 +30,11 @@ type Bundle struct {
 	ChunkLogs []*chunk.Log
 	// InputLog holds all recorded input nondeterminism.
 	InputLog *capo.InputLog
+	// SigLogs, when non-nil, holds each chunk's serialized read/write
+	// Bloom signatures (per thread, parallel to ChunkLogs). Captured only
+	// when the recording ran with machine.Config.CaptureSignatures; used
+	// by the offline race detector's screening phase.
+	SigLogs [][]capo.SigPair
 	// Checkpoint, when non-nil, marks this as a flight-recorder tail
 	// bundle: the logs cover only execution after the checkpoint and
 	// replay resumes from its state. Built with Tail.
@@ -80,6 +85,7 @@ func Record(prog *isa.Program, cfg machine.Config) (*Bundle, error) {
 		CountRepIterations:  cfg.MRR.CountRepIterations,
 		ChunkLogs:           res.Session.ChunkLogs(),
 		InputLog:            res.Session.InputLog(),
+		SigLogs:             res.Session.SigLogs(),
 		MemChecksum:         res.MemChecksum,
 		Output:              res.Output,
 		FinalContexts:       res.FinalContexts,
@@ -120,6 +126,17 @@ func replayInput(prog *isa.Program, b *Bundle) (replay.Input, error) {
 		in.Start = b.Checkpoint.startState()
 	}
 	return in, nil
+}
+
+// TraceAccesses replays the bundle while logging every user-mode memory
+// access with its issuing thread, chunk and instruction — the exact
+// ground truth the race detector confirms Bloom candidates against.
+func TraceAccesses(prog *isa.Program, b *Bundle) (*replay.Result, []replay.AccessEvent, error) {
+	in, err := replayInput(prog, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return replay.TraceAccesses(in)
 }
 
 // ReplayUntil replays the bundle up to "thread tid, retired-instruction

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/capo"
 	"repro/internal/chunk"
 	"repro/internal/isa"
 	"repro/internal/machine"
@@ -229,6 +230,112 @@ func TestBundleMarshalRoundTrip(t *testing.T) {
 	}
 	if err := Verify(got, rr); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestTraceAccessesGroundTruth(t *testing.T) {
+	prog := workload.Mutex(50, 4)
+	b, err := Record(prog, recordCfg(3, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, events, err := TraceAccesses(prog, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tracing must not perturb the replayed execution.
+	if err := Verify(b, rr); err != nil {
+		t.Fatal(err)
+	}
+	var reads, writes, atomics, syncs int
+	for _, ev := range events {
+		if ev.Thread < 0 || ev.Thread >= b.Threads {
+			t.Fatalf("event thread %d out of range", ev.Thread)
+		}
+		if ev.Chunk < 0 || ev.Chunk > b.ChunkLogs[ev.Thread].Len() {
+			t.Fatalf("event chunk %d out of range for thread %d", ev.Chunk, ev.Thread)
+		}
+		switch ev.Kind {
+		case replay.AccessRead:
+			reads++
+		case replay.AccessWrite:
+			writes++
+		case replay.AccessAtomic:
+			atomics++
+		}
+		if ev.Kind.IsSync() {
+			syncs++
+		}
+	}
+	// A mutex workload must show plain data accesses plus lock atomics.
+	if reads == 0 || writes == 0 {
+		t.Errorf("trace missing plain accesses: %d reads, %d writes", reads, writes)
+	}
+	if atomics == 0 {
+		t.Error("mutex workload traced no atomic accesses")
+	}
+	if syncs < atomics {
+		t.Error("IsSync does not cover atomics")
+	}
+}
+
+func TestBundleSigLogsRoundTrip(t *testing.T) {
+	prog := workload.Counter(100, 4)
+	b, err := Record(prog, recordCfg(6, func(c *machine.Config) { c.CaptureSignatures = true }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SigLogs == nil {
+		t.Fatal("CaptureSignatures recording carries no SigLogs")
+	}
+	pairs := 0
+	for tid := range b.ChunkLogs {
+		if len(b.SigLogs[tid]) != b.ChunkLogs[tid].Len() {
+			t.Fatalf("thread %d: %d sig pairs for %d chunks", tid, len(b.SigLogs[tid]), b.ChunkLogs[tid].Len())
+		}
+		pairs += len(b.SigLogs[tid])
+	}
+	if pairs == 0 {
+		t.Fatal("no signature pairs captured")
+	}
+
+	got, err := UnmarshalBundle(b.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid := range b.SigLogs {
+		if len(got.SigLogs[tid]) != len(b.SigLogs[tid]) {
+			t.Fatalf("thread %d sig log length changed", tid)
+		}
+		for i, p := range b.SigLogs[tid] {
+			q := got.SigLogs[tid][i]
+			if string(q.Read) != string(p.Read) || string(q.Write) != string(p.Write) {
+				t.Fatalf("thread %d sig pair %d differs after round trip", tid, i)
+			}
+		}
+	}
+
+	// A sig log whose count disagrees with the chunk log must be rejected,
+	// and a recording without capture must not grow SigLogs.
+	bad := *b
+	bad.SigLogs = append([][]capo.SigPair{}, b.SigLogs...)
+	bad.SigLogs[0] = bad.SigLogs[0][:len(bad.SigLogs[0])-1]
+	if _, err := UnmarshalBundle(bad.Marshal()); err == nil {
+		t.Error("sig/chunk count mismatch accepted")
+	}
+	plain, err := Record(prog, recordCfg(6, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.SigLogs != nil {
+		t.Error("recording without CaptureSignatures has SigLogs")
+	}
+	replain, err := UnmarshalBundle(plain.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replain.SigLogs != nil {
+		t.Error("sig-free bundle grew SigLogs on unmarshal")
 	}
 }
 

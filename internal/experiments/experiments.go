@@ -115,6 +115,7 @@ func All() []Experiment {
 		{"A4", "Flight-recorder checkpointing (always-on RnR extension)", A4},
 		{"A5", "Instruction-counting convention ablation", A5},
 		{"A6", "Stream framing overhead (crash-consistent streaming extension)", A6},
+		{"A7", "Offline data-race detection over recorded logs", A7},
 	}
 }
 

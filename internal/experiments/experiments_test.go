@@ -25,7 +25,7 @@ func runExp(t *testing.T, id string) string {
 }
 
 func TestAllExperimentsRegistered(t *testing.T) {
-	want := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "A1", "A2", "A3", "A4", "A5", "A6"}
+	want := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "A1", "A2", "A3", "A4", "A5", "A6", "A7"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("%d experiments registered, want %d", len(all), len(want))
@@ -279,6 +279,23 @@ func TestA5CountingConvention(t *testing.T) {
 	}
 	if !strings.Contains(naive, "DIVERGED") && !strings.Contains(naive, "MISMATCH") {
 		t.Errorf("naive convention did not break: %q", naive)
+	}
+}
+
+func TestA7RaceDetection(t *testing.T) {
+	out := runExp(t, "A7")
+	for _, l := range strings.Split(out, "\n") {
+		f := strings.Fields(l)
+		if len(f) < 8 || (f[0] != "racy" && f[0] != "racefree") {
+			continue
+		}
+		threads, races := f[1], f[6]
+		if f[0] == "racy" && threads == "4" && races == "0" {
+			t.Errorf("racy at 4 threads confirmed no races: %q", l)
+		}
+		if f[0] == "racefree" && races != "0" {
+			t.Errorf("racefree confirmed races: %q", l)
+		}
 	}
 }
 

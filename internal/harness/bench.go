@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/races"
 )
 
 // BenchResult is one workload's measured recording throughput:
@@ -60,6 +62,53 @@ func MeasureRecordThroughput(name string, threads, cores, runs int) (*BenchResul
 	return res, nil
 }
 
+// MeasureScreenThroughput records the named workload once with
+// signature capture, then times the race detector's screening phase over
+// that recording runs times. Throughput is recorded instructions
+// screened per second of host wall time, so the number is comparable to
+// the recording benchmarks: how fast the offline pass chews through a
+// recording relative to its execution size.
+func MeasureScreenThroughput(name string, threads, cores, runs int) (*BenchResult, error) {
+	prog, err := buildProgram(name, threads)
+	if err != nil {
+		return nil, err
+	}
+	cfg := recordConfig(cores, threads, 1)
+	cfg.CaptureSignatures = true
+	rec, err := core.Record(prog, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("harness: bench recording of %s failed: %w", name, err)
+	}
+	var instrs uint64
+	for _, r := range rec.RetiredPerThread {
+		instrs += r
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	res := &BenchResult{Workload: "screen:" + name, Threads: threads, Cores: cores, Instrs: instrs}
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		if _, err := races.Screen(rec); err != nil {
+			return nil, fmt.Errorf("harness: bench screening of %s failed: %w", name, err)
+		}
+		if tput := float64(instrs) / time.Since(start).Seconds(); tput > res.InstrsPerSec {
+			res.InstrsPerSec = tput
+		}
+	}
+	return res, nil
+}
+
+// measureWorkload dispatches a baseline entry: plain names bench
+// recording throughput, "screen:<name>" benches the race detector's
+// screening phase over a recording of <name>.
+func measureWorkload(name string, threads, cores, runs int) (*BenchResult, error) {
+	if rest, ok := strings.CutPrefix(name, "screen:"); ok {
+		return MeasureScreenThroughput(rest, threads, cores, runs)
+	}
+	return MeasureRecordThroughput(name, threads, cores, runs)
+}
+
 // WriteBaseline measures every listed workload and writes the baseline
 // file the regression guard reads.
 func WriteBaseline(path string, workloads []string, threads, cores, runs int) (*Baseline, error) {
@@ -67,7 +116,7 @@ func WriteBaseline(path string, workloads []string, threads, cores, runs int) (*
 		Note: fmt.Sprintf("best of %d record runs per workload, %d threads on %d cores; regenerate with QUICKREC_WRITE_BASELINE=1 go test ./internal/harness/ -run TestWriteBenchBaseline", runs, threads, cores),
 	}
 	for _, w := range workloads {
-		r, err := MeasureRecordThroughput(w, threads, cores, runs)
+		r, err := measureWorkload(w, threads, cores, runs)
 		if err != nil {
 			return nil, err
 		}
@@ -98,7 +147,7 @@ func LoadBaseline(path string) (*Baseline, error) {
 func CheckRegression(base BenchResult, got *BenchResult, tolerance float64) error {
 	floor := base.InstrsPerSec * (1 - tolerance)
 	if got.InstrsPerSec < floor {
-		return fmt.Errorf("harness: %s record throughput regressed: %.0f instrs/s vs baseline %.0f (floor %.0f, tolerance %.0f%%)",
+		return fmt.Errorf("harness: %s throughput regressed: %.0f instrs/s vs baseline %.0f (floor %.0f, tolerance %.0f%%)",
 			base.Workload, got.InstrsPerSec, base.InstrsPerSec, floor, tolerance*100)
 	}
 	return nil

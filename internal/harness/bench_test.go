@@ -10,7 +10,7 @@ const (
 	benchTolerance = 0.20
 )
 
-var benchWorkloads = []string{"counter", "ioheavy", "repcopy"}
+var benchWorkloads = []string{"counter", "ioheavy", "repcopy", "screen:racy"}
 
 // BenchmarkRecordThroughput reports recording throughput per workload in
 // simulated instructions per second of host time.
@@ -19,7 +19,7 @@ func BenchmarkRecordThroughput(b *testing.B) {
 		b.Run(w, func(b *testing.B) {
 			var instrs float64
 			for i := 0; i < b.N; i++ {
-				r, err := MeasureRecordThroughput(w, 4, 4, 1)
+				r, err := measureWorkload(w, 4, 4, 1)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -61,7 +61,7 @@ func TestRecordThroughputRegression(t *testing.T) {
 		t.Fatal("baseline holds no results")
 	}
 	for _, br := range base.Results {
-		got, err := MeasureRecordThroughput(br.Workload, br.Threads, br.Cores, 5)
+		got, err := measureWorkload(br.Workload, br.Threads, br.Cores, 5)
 		if err != nil {
 			t.Fatal(err)
 		}

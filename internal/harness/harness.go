@@ -170,6 +170,11 @@ func runCell(cfg Config, rep *Report, name string, prog *isa.Program, cores int)
 				Workload: name, Cores: cores, Property: pr.Property, Err: pr.Err,
 			})
 		}
+		if pr := checkRaceExpectation(name, prog, mcfg); pr != nil {
+			rep.Meta = append(rep.Meta, MetaResult{
+				Workload: name, Cores: cores, Property: pr.Property, Err: pr.Err,
+			})
+		}
 	}
 	// One pristine replay bounds the step budget for mutated replays and
 	// pins the reference the benign/silent classification compares against.

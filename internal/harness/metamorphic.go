@@ -7,6 +7,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/races"
+	"repro/internal/workload"
 )
 
 // PropertyResult is one metamorphic property's outcome; Err is empty on
@@ -22,6 +24,7 @@ const (
 	PropReplayFidelity       = "replay-reaches-recorded-state"
 	PropSerializationClosure = "recording-survives-serialization"
 	PropReplayDeterminism    = "replay-twice-is-identical"
+	PropRaceExpectation      = "race-expectation-holds"
 )
 
 // checkMetamorphic runs the metamorphic properties against prog under
@@ -110,4 +113,48 @@ func checkMetamorphic(prog *isa.Program, cfg machine.Config, rec *core.Bundle) [
 	}())
 
 	return out
+}
+
+// checkRaceExpectation runs the offline race detector against workloads
+// with a declared race status (Spec.RaceExpectation): a "racy" workload
+// must yield at least one confirmed race, a "racefree" one exactly zero.
+// The conformance recording is made without signature capture, so the
+// property records its own capture-enabled bundle under the same config.
+// Returns nil for unclassified workloads (including fuzz programs).
+func checkRaceExpectation(name string, prog *isa.Program, cfg machine.Config) *PropertyResult {
+	spec, ok := workload.ByName(name)
+	if !ok || spec.RaceExpectation == "" {
+		return nil
+	}
+	pr := &PropertyResult{Property: PropRaceExpectation}
+	err := func() error {
+		cfg.CaptureSignatures = true
+		rec, err := core.Record(prog, cfg)
+		if err != nil {
+			return fmt.Errorf("signature-capture recording failed: %w", err)
+		}
+		rep, err := races.Detect(prog, rec)
+		if err != nil {
+			return err
+		}
+		switch spec.RaceExpectation {
+		case "racy":
+			if len(rep.Races) == 0 {
+				return fmt.Errorf("racy workload: %d candidate pairs but no confirmed races",
+					len(rep.Candidates))
+			}
+		case "racefree":
+			if len(rep.Races) != 0 {
+				return fmt.Errorf("race-free workload: %d confirmed races (first: %+v)",
+					len(rep.Races), rep.Races[0])
+			}
+		default:
+			return fmt.Errorf("unknown race expectation %q", spec.RaceExpectation)
+		}
+		return nil
+	}()
+	if err != nil {
+		pr.Err = err.Error()
+	}
+	return pr
 }

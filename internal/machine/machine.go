@@ -109,6 +109,12 @@ type Config struct {
 	// overhead under 5% of log payload; see experiment A6). Smaller
 	// values tighten the crash-consistency window at the cost of framing.
 	FlushEveryChunks uint64
+	// CaptureSignatures retains each chunk's serialized read/write Bloom
+	// signatures alongside the chunk log, for offline conflict screening
+	// (the race detector). Off by default: the captured bytes are an
+	// analysis artefact, deliberately outside the log stream and its CBUF
+	// and perf accounting.
+	CaptureSignatures bool
 }
 
 // DefaultConfig mirrors the prototype: four Pentium-class cores with

@@ -86,6 +86,9 @@ func (m *Machine) assign(tid, coreID int) {
 			sink(e)
 			m.noteStreamedChunk()
 		})
+		if m.cfg.CaptureSignatures {
+			rec.SetSigSink(m.session.SigSink(tid))
+		}
 		rec.SetEnabled(true)
 	}
 	th.state = thRunning
@@ -102,6 +105,7 @@ func (m *Machine) park(coreID int) *thread {
 	if rec := m.mrrs[coreID]; rec != nil {
 		th.savedClock = rec.Clock()
 		rec.SetSink(nil)
+		rec.SetSigSink(nil)
 		rec.SetEnabled(false)
 	}
 	th.ctx = m.cores[coreID].SaveContext()

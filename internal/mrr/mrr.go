@@ -108,6 +108,7 @@ type Recorder struct {
 
 	enabled bool
 	sink    func(chunk.Entry)
+	sigSink func(read, write []byte)
 	residue func() (active bool, done uint64)
 
 	stats Stats
@@ -134,6 +135,13 @@ func (r *Recorder) SetResidueFunc(f func() (bool, uint64)) { r.residue = f }
 // SetSink directs emitted chunk entries to the current thread's log
 // buffer. A nil sink discards entries.
 func (r *Recorder) SetSink(sink func(chunk.Entry)) { r.sink = sink }
+
+// SetSigSink captures the read/write signature contents of every emitted
+// chunk, serialized at the moment of termination (before the filters are
+// cleared for the next chunk). A nil sink disables capture. The paper's
+// prototype exposes the signatures through the chunk log for offline
+// conflict analysis; this is that tap.
+func (r *Recorder) SetSigSink(sink func(read, write []byte)) { r.sigSink = sink }
 
 // SetEnabled turns recording on or off (kernel entry/exit, unrecorded
 // threads). The Lamport clock keeps advancing regardless: it is hardware
@@ -240,6 +248,12 @@ func (r *Recorder) terminate(reason chunk.Reason) {
 	}
 	if r.sink != nil {
 		r.sink(e)
+	}
+	if r.sigSink != nil {
+		// Serialize while the filters still hold this chunk's addresses;
+		// Clear below wipes them. Empty chunks return early above, so sig
+		// pairs stay 1:1 with emitted entries.
+		r.sigSink(r.readSig.Marshal(), r.writeSig.Marshal())
 	}
 	r.clock++
 	r.ctr = 0

@@ -1,0 +1,247 @@
+package races
+
+import (
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/replay"
+)
+
+// Race is one confirmed instruction-level data race: two accesses to the
+// same address from different threads, at least one a write, with no
+// happens-before path between them. Sides are ordered so ThreadA <
+// ThreadB.
+type Race struct {
+	Addr    uint64 `json:"addr"`
+	ThreadA int    `json:"thread_a"`
+	PCA     int    `json:"pc_a"`
+	ChunkA  int    `json:"chunk_a"`
+	KindA   string `json:"kind_a"`
+	ThreadB int    `json:"thread_b"`
+	PCB     int    `json:"pc_b"`
+	ChunkB  int    `json:"chunk_b"`
+	KindB   string `json:"kind_b"`
+}
+
+// Report is the detector's full output.
+type Report struct {
+	Program string `json:"program"`
+	Threads int    `json:"threads"`
+	// TotalChunks and ConcurrentPairs size the screening input.
+	TotalChunks     int `json:"total_chunks"`
+	ConcurrentPairs int `json:"concurrent_pairs"`
+	// Candidates are the signature-screened chunk pairs.
+	Candidates []Candidate `json:"candidates"`
+	// Races are the confirmed instruction-level races, deduplicated by
+	// (address, threads, PCs, kinds).
+	Races []Race `json:"races"`
+	// ConfirmedPairs counts candidate pairs containing at least one
+	// confirmed race; FalsePositiveRate is the fraction of candidates
+	// that confirmation discarded — the Bloom aliasing figure (0 when
+	// there were no candidates).
+	ConfirmedPairs    int     `json:"confirmed_pairs"`
+	FalsePositiveRate float64 `json:"false_positive_rate"`
+}
+
+// Detect runs both phases: signature screening, then happens-before
+// confirmation over an access-traced deterministic replay. Soundness
+// note: screening inherits Bloom semantics (false positives, no false
+// negatives on concurrent pairs), so confirmation only ever shrinks the
+// candidate set — a pair absent from Candidates cannot hold a race
+// between Lamport-concurrent chunks.
+func Detect(prog *isa.Program, b *core.Bundle) (*Report, error) {
+	cands, err := Screen(b)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Program:         b.ProgramName,
+		Threads:         b.Threads,
+		ConcurrentPairs: len(analysis.ConcurrentPairs(b.ChunkLogs)),
+		Candidates:      cands,
+	}
+	for _, l := range b.ChunkLogs {
+		rep.TotalChunks += l.Len()
+	}
+	if len(cands) == 0 {
+		return rep, nil
+	}
+	_, events, err := core.TraceAccesses(prog, b)
+	if err != nil {
+		return nil, err
+	}
+	rep.Races, rep.ConfirmedPairs = confirm(b.Threads, cands, events)
+	rep.FalsePositiveRate = float64(len(cands)-rep.ConfirmedPairs) / float64(len(cands))
+	return rep, nil
+}
+
+// sample is one plain access inside a candidate chunk, stamped with its
+// thread's vector clock at issue time.
+type sample struct {
+	thread, chunk, pc int
+	write             bool
+	clock             uint64   // own component of vc at issue
+	vc                []uint64 // snapshot of the issuing thread's clock
+}
+
+// happensBefore reports a ≺ b: everything thread a had done up to a's
+// issue was visible to b's thread when b issued.
+func happensBefore(a, b *sample) bool {
+	return a.clock <= b.vc[a.thread]
+}
+
+// pairKey identifies a candidate chunk pair, threads ordered.
+type pairKey struct{ ta, ca, tb, cb int }
+
+// raceKey deduplicates race reports.
+type raceKey struct {
+	addr       uint64
+	ta, pa     int
+	wa         bool
+	tb, pb     int
+	wb         bool
+}
+
+// confirm rebuilds the happens-before order from the traced
+// synchronization accesses and reports the unordered conflicting plain
+// access pairs that fall inside candidate chunk pairs.
+//
+// Vector-clock rules (events arrive in deterministic replay order):
+//
+//	atomic t@a:    VC[t] ⊔= L[a]; L[a] ⊔= VC[t]; VC[t][t]++
+//	futex-wait t@a: VC[t] ⊔= L[a]; VC[t][t]++   (acquire)
+//	futex-wake t@a: L[a] ⊔= VC[t]; VC[t][t]++   (release)
+//
+// where L[a] is the last-release clock of sync address a. Plain accesses
+// snapshot their thread's clock. Addresses that carry synchronization
+// are excluded from race reporting — the program is ordering itself
+// through them on purpose.
+func confirm(threads int, cands []Candidate, events []replay.AccessEvent) ([]Race, int) {
+	candChunks := map[[2]int]bool{}
+	candPairs := map[pairKey]bool{}
+	for _, c := range cands {
+		p := c.Pair
+		candChunks[[2]int{p.ThreadA, p.ChunkA}] = true
+		candChunks[[2]int{p.ThreadB, p.ChunkB}] = true
+		candPairs[pairKey{p.ThreadA, p.ChunkA, p.ThreadB, p.ChunkB}] = true
+	}
+
+	// Pass 1: the synchronization address set.
+	syncAddr := map[uint64]bool{}
+	for _, ev := range events {
+		if ev.Kind.IsSync() {
+			syncAddr[ev.Addr] = true
+		}
+	}
+
+	// Pass 2: vector clocks + samples of candidate-chunk plain accesses.
+	vc := make([][]uint64, threads)
+	for t := range vc {
+		vc[t] = make([]uint64, threads)
+		vc[t][t] = 1 // threads start mutually unordered
+	}
+	join := func(dst, src []uint64) {
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	}
+	lock := map[uint64][]uint64{}
+	byAddr := map[uint64][]*sample{}
+	for _, ev := range events {
+		t := ev.Thread
+		switch ev.Kind {
+		case replay.AccessAtomic:
+			la := lock[ev.Addr]
+			if la == nil {
+				la = make([]uint64, threads)
+				lock[ev.Addr] = la
+			}
+			join(vc[t], la)
+			join(la, vc[t])
+			vc[t][t]++
+		case replay.AccessFutexWait:
+			if la := lock[ev.Addr]; la != nil {
+				join(vc[t], la)
+			}
+			vc[t][t]++
+		case replay.AccessFutexWake:
+			la := lock[ev.Addr]
+			if la == nil {
+				la = make([]uint64, threads)
+				lock[ev.Addr] = la
+			}
+			join(la, vc[t])
+			vc[t][t]++
+		default:
+			if syncAddr[ev.Addr] || !candChunks[[2]int{t, ev.Chunk}] {
+				continue
+			}
+			byAddr[ev.Addr] = append(byAddr[ev.Addr], &sample{
+				thread: t, chunk: ev.Chunk, pc: ev.PC,
+				write: ev.Kind == replay.AccessWrite,
+				clock: vc[t][t], vc: append([]uint64(nil), vc[t]...),
+			})
+		}
+	}
+
+	// Pair up unordered conflicting samples within candidate pairs.
+	seen := map[raceKey]bool{}
+	confirmed := map[pairKey]bool{}
+	var races []Race
+	for addr, samples := range byAddr {
+		for i, a := range samples {
+			for _, bs := range samples[i+1:] {
+				if a.thread == bs.thread || (!a.write && !bs.write) {
+					continue
+				}
+				lo, hi := a, bs
+				if lo.thread > hi.thread {
+					lo, hi = hi, lo
+				}
+				pk := pairKey{lo.thread, lo.chunk, hi.thread, hi.chunk}
+				if !candPairs[pk] {
+					continue
+				}
+				rk := raceKey{addr, lo.thread, lo.pc, lo.write, hi.thread, hi.pc, hi.write}
+				if seen[rk] {
+					continue
+				}
+				if happensBefore(a, bs) || happensBefore(bs, a) {
+					continue
+				}
+				seen[rk] = true
+				confirmed[pk] = true
+				races = append(races, Race{
+					Addr:    addr,
+					ThreadA: lo.thread, PCA: lo.pc, ChunkA: lo.chunk, KindA: kindName(lo.write),
+					ThreadB: hi.thread, PCB: hi.pc, ChunkB: hi.chunk, KindB: kindName(hi.write),
+				})
+			}
+		}
+	}
+	sort.Slice(races, func(i, j int) bool {
+		a, b := races[i], races[j]
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		if a.ThreadA != b.ThreadA {
+			return a.ThreadA < b.ThreadA
+		}
+		if a.PCA != b.PCA {
+			return a.PCA < b.PCA
+		}
+		return a.PCB < b.PCB
+	})
+	return races, len(confirmed)
+}
+
+func kindName(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}

@@ -1,0 +1,156 @@
+package races
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/signature"
+	"repro/internal/workload"
+)
+
+func record(t *testing.T, prog *isa.Program, cores, threads int, seed uint64) *core.Bundle {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.Mode = machine.ModeFull
+	cfg.Cores = cores
+	cfg.Threads = threads
+	cfg.Seed = seed
+	cfg.KernelSeed = seed + 1000
+	cfg.CaptureSignatures = true
+	if threads > cores {
+		cfg.TimeSliceInstrs = 5000
+	}
+	b, err := core.Record(prog, cfg)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	return b
+}
+
+func TestRacyWorkloadConfirmsRaces(t *testing.T) {
+	for _, cores := range []int{1, 2, 4} {
+		prog := workload.Racy(150, 4)
+		b := record(t, prog, cores, 4, uint64(cores)*7)
+		rep, err := Detect(prog, b)
+		if err != nil {
+			t.Fatalf("cores=%d: %v", cores, err)
+		}
+		if len(rep.Candidates) == 0 {
+			t.Fatalf("cores=%d: screening produced no candidate pairs", cores)
+		}
+		if len(rep.Races) == 0 {
+			t.Fatalf("cores=%d: no confirmed races in a racy workload (%d candidates)",
+				cores, len(rep.Candidates))
+		}
+		// Reports must be instruction-level: the racing accesses hit the
+		// shared word from distinct threads with at least one write.
+		shared := prog.Symbols["shared"]
+		onShared := false
+		for _, r := range rep.Races {
+			if r.ThreadA == r.ThreadB {
+				t.Errorf("cores=%d: race within one thread: %+v", cores, r)
+			}
+			if r.KindA != "write" && r.KindB != "write" {
+				t.Errorf("cores=%d: read/read pair reported as race: %+v", cores, r)
+			}
+			if r.PCA < 0 || r.PCA >= len(prog.Code) || r.PCB < 0 || r.PCB >= len(prog.Code) {
+				t.Errorf("cores=%d: race PCs out of program range: %+v", cores, r)
+			}
+			if r.Addr == shared {
+				onShared = true
+			}
+		}
+		if !onShared {
+			t.Errorf("cores=%d: no confirmed race on the shared counter word", cores)
+		}
+		if rep.ConfirmedPairs == 0 || rep.ConfirmedPairs > len(rep.Candidates) {
+			t.Errorf("cores=%d: confirmed pairs %d out of range for %d candidates",
+				cores, rep.ConfirmedPairs, len(rep.Candidates))
+		}
+		if rep.FalsePositiveRate < 0 || rep.FalsePositiveRate > 1 {
+			t.Errorf("cores=%d: FP rate %v out of [0,1]", cores, rep.FalsePositiveRate)
+		}
+	}
+}
+
+func TestRaceFreeWorkloadConfirmsNothing(t *testing.T) {
+	for _, cores := range []int{1, 2, 4} {
+		prog := workload.RaceFree(80, 4)
+		b := record(t, prog, cores, 4, uint64(cores)*13)
+		rep, err := Detect(prog, b)
+		if err != nil {
+			t.Fatalf("cores=%d: %v", cores, err)
+		}
+		if len(rep.Races) != 0 {
+			t.Fatalf("cores=%d: %d races confirmed in a race-free workload: %+v",
+				cores, len(rep.Races), rep.Races)
+		}
+		if rep.ConfirmedPairs != 0 {
+			t.Errorf("cores=%d: %d confirmed pairs with no races", cores, rep.ConfirmedPairs)
+		}
+		// Lock-protected conflicts still screen as candidates (the
+		// signatures really do intersect); confirmation is what removes
+		// them, and the FP rate records that.
+		if len(rep.Candidates) > 0 && rep.FalsePositiveRate != 1 {
+			t.Errorf("cores=%d: FP rate %v, want 1 with candidates and no races",
+				cores, rep.FalsePositiveRate)
+		}
+	}
+}
+
+func TestReportMarshalsCleanly(t *testing.T) {
+	// Degenerate and regular reports must survive encoding/json (which
+	// rejects NaN/Inf outright).
+	prog := workload.RaceFree(20, 2)
+	b := record(t, prog, 2, 2, 3)
+	rep, err := Detect(prog, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*Report{rep, {}} {
+		if _, err := json.Marshal(r); err != nil {
+			t.Errorf("report does not marshal: %v", err)
+		}
+	}
+}
+
+func TestScreenErrorsNotPanics(t *testing.T) {
+	prog := workload.Racy(30, 2)
+
+	// No signature logs.
+	plain := record(t, prog, 2, 2, 5)
+	plain.SigLogs = nil
+	if _, err := Screen(plain); !errors.Is(err, ErrNoSignatures) {
+		t.Errorf("missing sig logs: got %v, want ErrNoSignatures", err)
+	}
+
+	// Corrupt signature bytes.
+	b := record(t, prog, 2, 2, 5)
+	if len(b.SigLogs[0]) == 0 {
+		t.Fatal("no sig pairs on thread 0")
+	}
+	b.SigLogs[0][0].Read = []byte("garbage")
+	if _, err := Screen(b); err == nil {
+		t.Error("corrupt signature accepted")
+	}
+
+	// Geometry mismatch must error, not panic (Intersects panics on its
+	// own).
+	b2 := record(t, prog, 2, 2, 5)
+	odd := signature.New(signature.Config{Bits: 64, Hashes: 1})
+	b2.SigLogs[0][0].Read = odd.Marshal()
+	if _, err := Screen(b2); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+
+	// Sig/chunk count mismatch.
+	b3 := record(t, prog, 2, 2, 5)
+	b3.SigLogs[0] = b3.SigLogs[0][:len(b3.SigLogs[0])-1]
+	if _, err := Screen(b3); err == nil {
+		t.Error("sig/chunk count mismatch accepted")
+	}
+}

@@ -204,6 +204,21 @@ type replayer struct {
 	bp *Breakpoint
 	// stepHook, when set, observes every execution step (see Trace).
 	stepHook func(t *threadState, pcBefore int, kind isa.StepKind)
+	// accessSink and accessBuf implement access tracing (see
+	// TraceAccesses): cores run against a tracingPort that buffers each
+	// step's raw accesses in accessBuf, and the step hook drains them to
+	// the sink with the issuing instruction attached.
+	accessSink func(AccessEvent)
+	accessBuf  []rawAccess
+}
+
+// corePort returns the memory port replayed cores execute against:
+// traced when access tracing is on, the bare memory otherwise.
+func (r *replayer) corePort() isa.MemPort {
+	if r.accessSink != nil {
+		return tracingPort{inner: flatPort{r.memory}, buf: &r.accessBuf}
+	}
+	return flatPort{r.memory}
 }
 
 // Run replays the recording and returns the reconstructed execution
@@ -254,7 +269,7 @@ func (r *replayer) setup() {
 		r.handlerPC, r.handlerOK = s.HandlerPC, s.HandlerOK
 		r.output = append(r.output, s.OutputPrefix...)
 		for t := 0; t < r.in.Threads; t++ {
-			core := isa.NewCore(t, r.in.Prog, flatPort{r.memory})
+			core := isa.NewCore(t, r.in.Prog, r.corePort())
 			core.RestoreContext(s.Contexts[t])
 			ts := &threadState{
 				id: t, core: core, items: buildItems(r.in, t),
@@ -281,7 +296,7 @@ func (r *replayer) setup() {
 		stackBase[t] = r.memory.Alloc(r.in.StackWordsPerThread * 8)
 	}
 	for t := 0; t < r.in.Threads; t++ {
-		core := isa.NewCore(t, r.in.Prog, flatPort{r.memory})
+		core := isa.NewCore(t, r.in.Prog, r.corePort())
 		core.SetReg(isa.R1, uint64(t))
 		core.SetReg(isa.R2, uint64(r.in.Threads))
 		core.SetReg(isa.R29, stackBase[t])
@@ -513,6 +528,9 @@ func (r *replayer) applySyscall(t *threadState, rec capo.Record) error {
 	sysno, a1, a2, a3, _ := t.core.SyscallArgs()
 	if sysno != rec.Sysno {
 		return r.diverge(t, "syscall number mismatch: executing %d, recorded %d", sysno, rec.Sysno)
+	}
+	if sysno == capo.SysFutexWait || sysno == capo.SysFutexWake {
+		r.noteFutex(t, sysno, a1)
 	}
 	port := flatPort{r.memory}
 	switch sysno {

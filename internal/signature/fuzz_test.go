@@ -1,0 +1,74 @@
+package signature
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzSignatureUnmarshal feeds arbitrary bytes to the signature decoder.
+// The decoder must never panic — in particular New must never be reached
+// with a geometry it would reject — and accepted inputs must survive a
+// byte-identical re-marshal round trip.
+func FuzzSignatureUnmarshal(f *testing.F) {
+	// Valid filters across geometries.
+	for _, cfg := range []Config{
+		{Bits: 64, Hashes: 1},
+		{Bits: 128, Hashes: 2, MaxInserts: 12},
+		{Bits: 1024, Hashes: 2, MaxInserts: 192},
+	} {
+		s := New(cfg)
+		for i := uint64(0); i < 10; i++ {
+			s.Insert(i * 64)
+		}
+		f.Add(s.Marshal())
+	}
+	good := New(DefaultConfig()).Marshal()
+
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	f.Add(bad)
+
+	// Truncated varint: cut inside the header's uvarint run.
+	f.Add(good[:6])
+
+	// Word-count lie: a header claiming 1024 bits followed by too few
+	// payload words.
+	lie := make([]byte, 0, 16)
+	lie = append(lie, sigMagic[:]...)
+	lie = append(lie, sigVersion)
+	lie = binary.AppendUvarint(lie, 1024) // Bits
+	lie = binary.AppendUvarint(lie, 2)    // Hashes
+	lie = binary.AppendUvarint(lie, 192)  // MaxInserts
+	lie = binary.AppendUvarint(lie, 3)    // inserts
+	lie = append(lie, make([]byte, 8)...) // one word where 16 are due
+	f.Add(lie)
+
+	// Sub-word Bits claim (the New/Unmarshal agreement regression).
+	sub := append([]byte(nil), good...)
+	sub[5] = 32
+	f.Add(sub)
+
+	f.Add([]byte{})
+	f.Add([]byte("QRSG"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		again := s.Marshal()
+		reloaded, err := Unmarshal(again)
+		if err != nil {
+			t.Fatalf("re-decode of re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(reloaded.Marshal(), again) {
+			t.Fatal("re-marshal is not a fixed point")
+		}
+		if reloaded.Config() != s.Config() || reloaded.Inserts() != s.Inserts() {
+			t.Fatalf("round trip changed filter state: %+v/%d vs %+v/%d",
+				reloaded.Config(), reloaded.Inserts(), s.Config(), s.Inserts())
+		}
+	})
+}

@@ -21,7 +21,9 @@ import (
 
 // Config parameterises a signature.
 type Config struct {
-	// Bits is the number of bits in the filter. Must be a power of two.
+	// Bits is the number of bits in the filter. Must be a power of two no
+	// smaller than one 64-bit word: the bit array is stored and serialized
+	// as whole words, so sub-word filters have no consistent encoding.
 	Bits uint
 	// Hashes is the number of hash functions (k).
 	Hashes uint
@@ -59,8 +61,11 @@ type Signature struct {
 // It panics if the configuration is invalid (a construction-time
 // programming error, not a runtime condition).
 func New(cfg Config) *Signature {
-	if cfg.Bits == 0 || cfg.Bits&(cfg.Bits-1) != 0 {
-		panic("signature: Bits must be a nonzero power of two")
+	// Bits below one word would make New (one padded word) and
+	// Marshal/Unmarshal (Bits/64 = zero words) disagree about the array
+	// size; reject the configuration outright, in both places.
+	if cfg.Bits < 64 || cfg.Bits&(cfg.Bits-1) != 0 {
+		panic("signature: Bits must be a power of two >= 64")
 	}
 	if cfg.Hashes == 0 || cfg.Hashes > 8 {
 		panic("signature: Hashes must be in 1..8")
@@ -69,9 +74,6 @@ func New(cfg Config) *Signature {
 		cfg:   cfg,
 		words: make([]uint64, cfg.Bits/64),
 		mask:  uint64(cfg.Bits) - 1,
-	}
-	if cfg.Bits < 64 {
-		s.words = make([]uint64, 1)
 	}
 	if cfg.TrackExact {
 		s.exact = make(map[uint64]struct{})
@@ -274,8 +276,10 @@ func Unmarshal(data []byte) (*Signature, error) {
 	if err != nil {
 		return nil, err
 	}
-	if bitsN == 0 || bitsN > 1<<24 || bitsN&(bitsN-1) != 0 {
-		return nil, fmt.Errorf("%w: Bits %d not a supported power of two", ErrCorruptSignature, bitsN)
+	// Mirror New's validation exactly: sub-word sizes have no consistent
+	// word-array encoding and are rejected, not special-cased.
+	if bitsN < 64 || bitsN > 1<<24 || bitsN&(bitsN-1) != 0 {
+		return nil, fmt.Errorf("%w: Bits %d not a supported power of two >= 64", ErrCorruptSignature, bitsN)
 	}
 	if hashes == 0 || hashes > 8 {
 		return nil, fmt.Errorf("%w: Hashes %d out of 1..8", ErrCorruptSignature, hashes)

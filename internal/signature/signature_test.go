@@ -1,6 +1,7 @@
 package signature
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -139,6 +140,7 @@ func TestInvalidConfigPanics(t *testing.T) {
 	for _, cfg := range []Config{
 		{Bits: 0, Hashes: 2},
 		{Bits: 100, Hashes: 2}, // not a power of two
+		{Bits: 32, Hashes: 2},  // sub-word: no consistent word-array encoding
 		{Bits: 1024, Hashes: 0},
 		{Bits: 1024, Hashes: 9},
 	} {
@@ -284,7 +286,8 @@ func TestSignatureSerializationRoundTrip(t *testing.T) {
 		{"empty", Config{Bits: 1024, Hashes: 2}, 0},
 		{"default", Config{Bits: 1024, Hashes: 2, MaxInserts: 192}, 100},
 		{"saturated", Config{Bits: 4096, Hashes: 2, MaxInserts: 16}, 16},
-		{"tiny", Config{Bits: 64, Hashes: 1}, 8},
+		{"one-word", Config{Bits: 64, Hashes: 1}, 8},
+		{"two-word", Config{Bits: 128, Hashes: 2, MaxInserts: 12}, 10},
 		{"many-hash", Config{Bits: 2048, Hashes: 8}, 50},
 	}
 	for _, tc := range cases {
@@ -353,6 +356,32 @@ func TestSignatureUnmarshalRejectsCorruption(t *testing.T) {
 	bad[5] = 0x63 // corrupt the Bits uvarint
 	if sig, err := Unmarshal(bad); err == nil && sig.Config().Bits&(sig.Config().Bits-1) != 0 {
 		t.Error("invalid geometry accepted")
+	}
+}
+
+// TestSubWordBitsRejectedConsistently pins the New/Marshal agreement for
+// sub-word geometries: New used to pad Bits < 64 up to one word while
+// Marshal/Unmarshal sized the array from Bits/64 (zero words), so a
+// serialized sub-word filter could not round-trip. Both paths now reject
+// the configuration the same way.
+func TestSubWordBitsRejectedConsistently(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("New(Bits: 32) did not panic")
+			}
+		}()
+		New(Config{Bits: 32, Hashes: 2})
+	}()
+
+	// A hand-built serialized filter claiming Bits = 32 (a valid power of
+	// two, but sub-word) must be rejected with an error, not materialized.
+	blob := New(Config{Bits: 64, Hashes: 2}).Marshal()
+	blob[5] = 32 // the Bits uvarint: single byte for values < 128
+	if _, err := Unmarshal(blob); err == nil {
+		t.Error("Unmarshal accepted a sub-word Bits claim")
+	} else if !errors.Is(err, ErrCorruptSignature) {
+		t.Errorf("sub-word rejection is %v, want ErrCorruptSignature", err)
 	}
 }
 

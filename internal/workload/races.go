@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Race-detector ground-truth workloads: a pair of programs with the same
+// shape — threads increment a shared word, then thread 0 reports it —
+// differing only in synchronization. Racy omits it entirely (every
+// increment is an unordered read-modify-write against every other
+// thread's); RaceFree guards every shared access with one futex mutex,
+// including the final join, so all conflicting accesses are ordered by
+// happens-before. The offline detector must confirm races in the first
+// and none in the second.
+
+// Racy builds the deliberately unsynchronized microbenchmark: plain
+// load/add/store increments of one shared word from every thread, with
+// no lock. Lost updates are expected; the final barrier only keeps the
+// reporting write after the racing phase.
+func Racy(iters int64, threads int) *isa.Program {
+	var lay mem.Layout
+	shared := lay.AllocWords(1)
+	barrier := lay.AllocWords(2)
+
+	b := isa.NewBuilder("racy")
+	b.Liu(isa.R3, shared)
+	b.Li(isa.R4, 0)
+	b.Li(isa.R5, iters)
+	b.Label("loop")
+	b.Ld(isa.R6, isa.R3, 0) // racy read
+	b.Addi(isa.R6, isa.R6, 1)
+	b.St(isa.R3, 0, isa.R6) // racy write
+	b.Addi(isa.R4, isa.R4, 1)
+	b.Bne(isa.R4, isa.R5, "loop")
+	b.Liu(isa.R8, barrier)
+	EmitBarrier(b, "b0", isa.R8)
+	emitWriteWord(b, isa.R3, "skipwrite")
+	b.Halt()
+
+	prog := b.Build(lay.Size(), threads, nil)
+	prog.Symbols["shared"] = shared
+	return prog
+}
+
+// RaceFree builds the fully synchronized twin: the same shared-word
+// increments, each inside a futex mutex, and a lock-protected done
+// counter as the join. Thread 0 polls the counter under the same lock
+// before reading the total, so its report is ordered after every
+// increment by the lock's happens-before edges alone — no barrier, no
+// timing windows.
+func RaceFree(iters int64, threads int) *isa.Program {
+	var lay mem.Layout
+	lock := lay.AllocWords(1)
+	shared := lay.AllocWords(1)
+	done := lay.AllocWords(1)
+
+	b := isa.NewBuilder("racefree")
+	b.Liu(isa.R3, lock)
+	b.Liu(isa.R4, shared)
+	b.Liu(isa.R5, done)
+	b.Li(isa.R6, 0)
+	b.Li(isa.R7, iters)
+	b.Label("loop")
+	EmitFutexLock(b, "l", isa.R3)
+	b.Ld(isa.R8, isa.R4, 0)
+	b.Addi(isa.R8, isa.R8, 1)
+	b.St(isa.R4, 0, isa.R8)
+	EmitFutexUnlock(b, "l", isa.R3)
+	b.Addi(isa.R6, isa.R6, 1)
+	b.Bne(isa.R6, isa.R7, "loop")
+	// Announce completion under the same lock.
+	EmitFutexLock(b, "d", isa.R3)
+	b.Ld(isa.R8, isa.R5, 0)
+	b.Addi(isa.R8, isa.R8, 1)
+	b.St(isa.R5, 0, isa.R8)
+	EmitFutexUnlock(b, "d", isa.R3)
+	b.Bne(RegTID, isa.R0, "skipwrite")
+	b.Label("join")
+	EmitFutexLock(b, "j", isa.R3)
+	b.Ld(isa.R8, isa.R5, 0)
+	EmitFutexUnlock(b, "j", isa.R3)
+	b.Bne(isa.R8, RegNThreads, "join")
+	emitWriteWord(b, isa.R4, "skipwrite")
+	b.Halt()
+
+	prog := b.Build(lay.Size(), threads, nil)
+	prog.Symbols["shared"] = shared
+	return prog
+}

@@ -12,6 +12,11 @@ type Spec struct {
 	Kind string
 	// Description says what behaviour the workload exercises.
 	Description string
+	// RaceExpectation tags workloads with known race status: "racy"
+	// (the offline detector must confirm at least one race), "racefree"
+	// (it must confirm none), or "" (unclassified). Drives the harness's
+	// race-detection metamorphic property.
+	RaceExpectation string
 	// Build constructs the program for the given thread count.
 	Build func(threads int) *isa.Program
 }
@@ -112,6 +117,18 @@ func MicroSuite() []Spec {
 			Name: "repcopy", Kind: "micro",
 			Description: "REP string copies split by conflicting writers",
 			Build:       func(t int) *isa.Program { return RepCopy(8192, t) },
+		},
+		{
+			Name: "racy", Kind: "micro",
+			Description:     "unsynchronized shared-word increments: known data races",
+			RaceExpectation: "racy",
+			Build:           func(t int) *isa.Program { return Racy(200, t) },
+		},
+		{
+			Name: "racefree", Kind: "micro",
+			Description:     "futex-mutex-guarded twin of racy: provably no data races",
+			RaceExpectation: "racefree",
+			Build:           func(t int) *isa.Program { return RaceFree(100, t) },
 		},
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/qasm"
+	"repro/internal/races"
 	"repro/internal/replay"
 	"repro/internal/segment"
 	"repro/internal/workload"
@@ -137,6 +138,12 @@ type Options struct {
 	// chunks (0 = the default, 1024). Smaller values tighten the
 	// crash-consistency window at the cost of framing overhead.
 	FlushEveryChunks uint64
+	// CaptureSignatures keeps each chunk's serialized read/write Bloom
+	// signatures in the recording, enabling the offline race detector
+	// (Races). Off by default: the signatures are an analysis artefact,
+	// not part of the replay log, and are excluded from log-volume and
+	// overhead accounting.
+	CaptureSignatures bool
 }
 
 func (o Options) config(mode machine.RecordingMode) (machine.Config, error) {
@@ -159,6 +166,7 @@ func (o Options) config(mode machine.RecordingMode) (machine.Config, error) {
 	cfg.SignalPeriodInstrs = o.SignalPeriodInstrs
 	cfg.CheckpointEveryInstrs = o.CheckpointEveryInstrs
 	cfg.FlushEveryChunks = o.FlushEveryChunks
+	cfg.CaptureSignatures = o.CaptureSignatures
 	if o.Encoding != "" {
 		var found bool
 		for _, e := range chunk.Encodings() {
@@ -296,6 +304,35 @@ type ConformanceReport = harness.Report
 // silently. The returned error covers misconfiguration only; detection
 // findings live in the report. cmd/quickconform is the CLI face.
 func Conformance(cfg ConformanceConfig) (*ConformanceReport, error) { return harness.Run(cfg) }
+
+// RaceReport is the offline race detector's output: the screened
+// candidate chunk pairs, the confirmed instruction-level races, and the
+// signatures' measured false-positive rate.
+type RaceReport = races.Report
+
+// RaceCandidate is one signature-screened chunk pair.
+type RaceCandidate = races.Candidate
+
+// RaceFinding is one confirmed instruction-level data race: two
+// accesses to the same address from different threads, at least one a
+// write, with no happens-before path between them.
+type RaceFinding = races.Race
+
+// ErrNoSignatures reports a recording made without
+// Options.CaptureSignatures to the race detector.
+var ErrNoSignatures = races.ErrNoSignatures
+
+// Races runs the offline two-phase data-race detector over a recording
+// made with Options.CaptureSignatures. Phase one screens
+// Lamport-concurrent chunk pairs through their Bloom signatures without
+// re-executing anything; phase two replays the recording with access
+// tracing and keeps only the conflicting access pairs no happens-before
+// edge orders. Bloom filters admit false positives but never false
+// negatives, so confirmation only shrinks the candidate set — see
+// docs/INTERNALS.md §11.
+func Races(prog *Program, rec *Recording) (*RaceReport, error) {
+	return races.Detect(prog, rec)
+}
 
 // Tail derives the flight-recorder bundle from a recording made with
 // Options.CheckpointEveryInstrs: the last checkpoint plus only the log
