@@ -5,7 +5,9 @@
 // Usage:
 //
 //	quickbench                 # run everything
-//	quickbench -exp F1         # one experiment (T1 T2 F1..F8 A1..A3)
+//	quickbench -exp F1         # one experiment (T1 T2 F1..F8 A1..A8)
+//	quickbench -exp A8 -workers 8
+//	                           # parallel-replay speedup on 8 workers
 //	quickbench -threads 1,2,4  # thread sweep
 //	quickbench -seed 7         # scheduler seed
 //	quickbench -list           # list experiments
@@ -27,6 +29,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "scheduler seed")
 	scale := flag.Uint64("scale", 1, "workload input-size multiplier (larger approaches paper-scale runs)")
 	seeds := flag.Int("seeds", 1, "average overhead experiments over this many schedules")
+	workers := flag.Int("workers", 0, "worker pool for the parallel-replay experiment (0 = 4, negative = all CPUs)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -37,7 +40,7 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Seed: *seed, Scale: *scale, Seeds: *seeds}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Seeds: *seeds, Workers: *workers}
 	for _, part := range strings.Split(*threads, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n <= 0 {

@@ -35,7 +35,7 @@ func main() {
 		faults    = flag.String("faults", "", "comma-separated fault classes (default all; see -list)")
 		mutations = flag.Int("mutations", 0, "material faults to place per matrix cell (default 12)")
 		reroll    = flag.Int("reroll", 0, "site re-roll budget per mutation slot (default 24)")
-		seed      = flag.Uint64("seed", 0, "seed for schedules and injection sites (default 1)")
+		seed      = flag.Uint64("seed", 1, "seed for schedules and injection sites; 0 is a valid seed")
 		skipMeta  = flag.Bool("skip-meta", false, "skip the metamorphic property pass")
 		crash     = flag.Bool("crash", false, "also sweep recorder crashes over segmented streams (torn writes + bit flips)")
 		list      = flag.Bool("list", false, "list fault classes and exit")

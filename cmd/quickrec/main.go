@@ -69,15 +69,19 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: quickrec <list|record|replay|verify|salvage|inspect|debug|analyze|race> [flags]
   list                             show the workload catalogue
-  record  -w NAME | -prog FILE.qasm [-threads N] [-seed S] [-hw] [-sigs] [-stream FILE [-flush N]] -o FILE
-  replay  -w NAME -i FILE          replay a recording
-  verify  -w NAME -i FILE          replay and verify against the recording
-  salvage -i FILE [-o FILE] [-replay] [-tail]
+  record  -w NAME | -prog FILE.qasm [-threads N] [-seed S] [-hw] [-sigs] [-ckpt N] [-stream FILE [-flush N]] -o FILE
+  replay  -w NAME -i FILE [-workers N]
+                                   replay a recording; -workers > 1 replays checkpoint
+                                   intervals in parallel (-1 = all CPUs)
+  verify  -w NAME -i FILE [-workers N]
+                                   replay and verify against the recording
+  salvage -i FILE [-o FILE] [-replay [-workers N]] [-tail]
                                    recover a consistent prefix from a (damaged) stream
   inspect -i FILE                  summarise a recording's logs
   debug   -i FILE -t TID -n COUNT  replay to thread TID's COUNT-th instruction and dump state
   analyze -i FILE                  post-mortem statistics: chunking, conflicts, concurrency
-  race    -i FILE [-json]          offline race detection over a -sigs recording`)
+  race    -i FILE [-json] [-workers N]
+                                   offline race detection over a -sigs recording`)
 }
 
 func cmdList() error {
@@ -97,6 +101,7 @@ func cmdRecord(args []string) error {
 	seed := fs.Uint64("seed", 1, "scheduler seed")
 	hw := fs.Bool("hw", false, "hardware-only cost accounting")
 	sigs := fs.Bool("sigs", false, "capture per-chunk Bloom signatures (enables `quickrec race`)")
+	ckpt := fs.Uint64("ckpt", 0, "flight-recorder checkpoint cadence in instructions (0 = never; enables parallel replay)")
 	out := fs.String("o", "", "output recording file")
 	stream := fs.String("stream", "", "also write the crash-consistent segmented stream to this file")
 	flush := fs.Uint64("flush", 0, "stream flush cadence in chunks (0 = default)")
@@ -112,7 +117,7 @@ func cmdRecord(args []string) error {
 		*name = prog.Name
 	}
 	opts := quickrec.Options{Threads: *threads, Seed: *seed, HardwareOnly: *hw,
-		CaptureSignatures: *sigs, FlushEveryChunks: *flush}
+		CaptureSignatures: *sigs, CheckpointEveryInstrs: *ckpt, FlushEveryChunks: *flush}
 	var rec *quickrec.Recording
 	if *stream != "" {
 		f, err := os.Create(*stream)
@@ -148,6 +153,7 @@ func cmdSalvage(args []string) error {
 	out := fs.String("o", "", "write the salvaged recording here")
 	doReplay := fs.Bool("replay", false, "best-effort replay of the salvaged prefix")
 	doTail := fs.Bool("tail", false, "salvage the flight-recorder tail instead of the full prefix")
+	workers := fs.Int("workers", 0, "replay checkpoint intervals on this many workers (0/1 = serial, -1 = all CPUs)")
 	progPath := fs.String("prog", "", "qasm program file (for non-catalogue recordings)")
 	fs.Parse(args)
 	if *in == "" {
@@ -186,7 +192,7 @@ func cmdSalvage(args []string) error {
 	if err != nil {
 		return err
 	}
-	rr, err := quickrec.Replay(prog, rec)
+	rr, err := quickrec.ReplayParallel(prog, rec, *workers)
 	if err != nil {
 		return err
 	}
@@ -233,6 +239,7 @@ func cmdReplay(args []string, verify bool) error {
 	name := fs.String("w", "", "workload name")
 	progPath := fs.String("prog", "", "qasm program file (alternative to -w)")
 	in := fs.String("i", "", "recording file")
+	workers := fs.Int("workers", 0, "replay checkpoint intervals on this many workers (0/1 = serial, -1 = all CPUs)")
 	fs.Parse(args)
 	rec, err := loadRecording(fs, *in)
 	if err != nil {
@@ -245,7 +252,7 @@ func cmdReplay(args []string, verify bool) error {
 	if err != nil {
 		return err
 	}
-	rr, err := quickrec.Replay(prog, rec)
+	rr, err := quickrec.ReplayParallel(prog, rec, *workers)
 	if err != nil {
 		return err
 	}
@@ -393,6 +400,7 @@ func cmdRace(args []string) error {
 	progPath := fs.String("prog", "", "qasm program file (alternative to -w)")
 	in := fs.String("i", "", "recording file (made with record -sigs)")
 	asJSON := fs.Bool("json", false, "emit the full report as JSON")
+	workers := fs.Int("workers", 0, "screen and confirm on this many workers (0/1 = serial, -1 = all CPUs)")
 	fs.Parse(args)
 	rec, err := loadRecording(fs, *in)
 	if err != nil {
@@ -405,7 +413,7 @@ func cmdRace(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := quickrec.Races(prog, rec)
+	rep, err := quickrec.RacesParallel(prog, rec, *workers)
 	if err != nil {
 		return err
 	}

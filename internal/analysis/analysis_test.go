@@ -114,12 +114,12 @@ func TestReportMarshalsCleanly(t *testing.T) {
 }
 
 func TestConcurrentPairs(t *testing.T) {
-	// Thread 0 chunks at ts 10, 20; thread 1 at ts 10, 30. Under the
-	// (prev, ts] convention chunk intervals are 0:(0,10],(10,20] and
-	// 1:(0,10],(10,30]. Pairs: (0,0)-(1,0) overlap outright,
-	// (0,1)-(1,1) overlap outright, and the boundary-sharing pairs
-	// (0,0)-(1,1) and (0,1)-(1,0) count as concurrent too, matching
-	// Analyze's overlap test.
+	// Thread 0 chunks at ts 10, 20; thread 1 at ts 10, 30. Chunk
+	// intervals are 0:(-inf,10],(10,20] and 1:(-inf,10],(10,30].
+	// Pairs: (0,0)-(1,0) and (0,1)-(1,1) overlap outright. The
+	// boundary-sharing pairs (0,0)-(1,1) and (0,1)-(1,0) are ordered —
+	// one chunk ends exactly where the other begins — and must NOT be
+	// reported.
 	l0 := &chunk.Log{Thread: 0}
 	l0.Append(chunk.Entry{Size: 10, TS: 10, Reason: chunk.ReasonFlush})
 	l0.Append(chunk.Entry{Size: 10, TS: 20, Reason: chunk.ReasonFlush})
@@ -130,8 +130,6 @@ func TestConcurrentPairs(t *testing.T) {
 	pairs := ConcurrentPairs([]*chunk.Log{l0, l1})
 	want := map[ChunkPair]bool{
 		{ThreadA: 0, ChunkA: 0, ThreadB: 1, ChunkB: 0}: true,
-		{ThreadA: 0, ChunkA: 0, ThreadB: 1, ChunkB: 1}: true,
-		{ThreadA: 0, ChunkA: 1, ThreadB: 1, ChunkB: 0}: true,
 		{ThreadA: 0, ChunkA: 1, ThreadB: 1, ChunkB: 1}: true,
 	}
 	if len(pairs) != len(want) {
@@ -145,12 +143,11 @@ func TestConcurrentPairs(t *testing.T) {
 }
 
 func TestConcurrentPairsSerialized(t *testing.T) {
-	// Strictly alternating timestamps with no boundary sharing:
-	// thread 0 at ts 0 and 4, thread 1 at ts 2 and 6. Intervals
-	// 0:(0,0],(0,4] vs 1:(0,2],(2,6]. The first chunk of thread 0 is
-	// the degenerate (0,0] stamped at ts 0, which still counts as
-	// touching thread 1's opening chunk; the meat of the test is that
-	// the linear merge agrees with a brute-force quadratic check.
+	// Strictly alternating timestamps: thread 0 at ts 0 and 4, thread 1
+	// at ts 2 and 6. Intervals 0:(-inf,0],(0,4] vs 1:(-inf,2],(2,6].
+	// Both opening chunks are unbounded below, so they count as
+	// concurrent with each other even at ts 0; the meat of the test is
+	// that the linear merge agrees with a brute-force quadratic check.
 	l0 := &chunk.Log{Thread: 0}
 	l0.Append(chunk.Entry{Size: 5, TS: 0, Reason: chunk.ReasonFlush})
 	l0.Append(chunk.Entry{Size: 5, TS: 4, Reason: chunk.ReasonFlush})
@@ -167,17 +164,17 @@ func TestConcurrentPairsSerialized(t *testing.T) {
 		got[p] = true
 	}
 
-	// Brute force with the same (prev, ts] convention.
-	type span struct{ lo, hi uint64 }
+	// Brute force with the same (prev, ts] convention, an open lower
+	// bound standing for -infinity on each thread's first chunk.
+	type span struct {
+		lo, hi uint64
+		open   bool
+	}
 	mk := func(l *chunk.Log) []span {
 		var out []span
 		var prev uint64
 		for i, e := range l.Entries {
-			lo := prev
-			if i == 0 {
-				lo = 0
-			}
-			out = append(out, span{lo, e.TS + 1})
+			out = append(out, span{lo: prev, hi: e.TS, open: i == 0})
 			prev = e.TS
 		}
 		return out
@@ -186,7 +183,7 @@ func TestConcurrentPairsSerialized(t *testing.T) {
 	for i, a := range s0 {
 		for j, b := range s1 {
 			p := ChunkPair{ThreadA: 0, ChunkA: i, ThreadB: 1, ChunkB: j}
-			overlap := a.lo < b.hi && b.lo < a.hi
+			overlap := (a.open || b.hi > a.lo) && (b.open || a.hi > b.lo)
 			if overlap != got[p] {
 				t.Errorf("pair %+v: brute force %v, ConcurrentPairs %v", p, overlap, got[p])
 			}

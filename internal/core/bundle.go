@@ -35,6 +35,9 @@ func (b *Bundle) Marshal() []byte {
 	if b.SigLogs != nil {
 		flags |= 4
 	}
+	if len(b.IntervalCheckpoints) > 0 {
+		flags |= 8
+	}
 	out = append(out, flags)
 	out = appendString(out, b.ProgramName)
 	out = binary.AppendUvarint(out, uint64(b.Threads))
@@ -77,10 +80,27 @@ func (b *Bundle) Marshal() []byte {
 		}
 	}
 	if b.Checkpoint == nil {
-		return append(out, 0)
+		out = append(out, 0)
+	} else {
+		out = append(out, 1)
+		out = appendCheckpoint(out, b.Checkpoint)
 	}
-	out = append(out, 1)
-	return appendCheckpoint(out, b.Checkpoint)
+	if len(b.IntervalCheckpoints) > 0 {
+		out = binary.AppendUvarint(out, uint64(len(b.IntervalCheckpoints)))
+		for _, ck := range b.IntervalCheckpoints {
+			out = appendCheckpoint(out, ck.State)
+			for t := 0; t < b.Threads; t++ {
+				var p int
+				if t < len(ck.ChunkPos) {
+					p = ck.ChunkPos[t]
+				}
+				out = binary.AppendUvarint(out, uint64(p))
+			}
+			out = binary.AppendUvarint(out, uint64(ck.InputPos))
+			out = binary.AppendUvarint(out, ck.RetiredAt)
+		}
+	}
+	return out
 }
 
 func appendCheckpoint(out []byte, cs *CheckpointState) []byte {
@@ -202,12 +222,13 @@ func UnmarshalBundle(data []byte) (*Bundle, error) {
 	if len(data) < 6 {
 		return nil, ErrCorruptBundle
 	}
-	if data[5] > 7 {
+	if data[5] > 15 {
 		return nil, fmt.Errorf("%w: unknown flags %#x", ErrCorruptBundle, data[5])
 	}
 	countReps := data[5]&1 != 0
 	partial := data[5]&2 != 0
 	hasSigs := data[5]&4 != 0
+	hasIvals := data[5]&8 != 0
 	r := &bundleReader{data: data, pos: 6}
 	name, err := r.bytes()
 	if err != nil {
@@ -299,6 +320,47 @@ func UnmarshalBundle(data []byte) (*Bundle, error) {
 		}
 	} else if hasCkpt != 0 {
 		return nil, fmt.Errorf("%w: bad checkpoint flag %d", ErrCorruptBundle, hasCkpt)
+	}
+	if hasIvals {
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		// Each interval checkpoint embeds a memory image, so the count is
+		// bounded by the remaining bytes; reject absurd values early.
+		if n == 0 || n > uint64(len(data)-r.pos) {
+			return nil, fmt.Errorf("%w: implausible interval checkpoint count %d", ErrCorruptBundle, n)
+		}
+		for i := uint64(0); i < n; i++ {
+			ck := &IntervalCheckpoint{}
+			if ck.State, err = readCheckpoint(r, b.Threads); err != nil {
+				return nil, err
+			}
+			for t := 0; t < b.Threads; t++ {
+				p, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if p > uint64(b.ChunkLogs[t].Len()) {
+					return nil, fmt.Errorf("%w: interval checkpoint %d chunk position %d beyond log (%d entries)",
+						ErrCorruptBundle, i, p, b.ChunkLogs[t].Len())
+				}
+				ck.ChunkPos = append(ck.ChunkPos, int(p))
+			}
+			p, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if p > uint64(b.InputLog.Len()) {
+				return nil, fmt.Errorf("%w: interval checkpoint %d input position %d beyond log (%d records)",
+					ErrCorruptBundle, i, p, b.InputLog.Len())
+			}
+			ck.InputPos = int(p)
+			if ck.RetiredAt, err = r.uvarint(); err != nil {
+				return nil, err
+			}
+			b.IntervalCheckpoints = append(b.IntervalCheckpoints, ck)
+		}
 	}
 	if r.pos != len(data) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptBundle, len(data)-r.pos)

@@ -29,6 +29,21 @@ type CheckpointState struct {
 	OutputPrefix []byte
 }
 
+// IntervalCheckpoint is one flight-recorder snapshot of a full
+// recording, with the log positions that separate pre- from
+// post-checkpoint entries. A bundle's IntervalCheckpoints partition its
+// logs into independently replayable intervals.
+type IntervalCheckpoint struct {
+	// State is the machine state at the boundary.
+	State *CheckpointState
+	// ChunkPos[t] is thread t's chunk-log length at the snapshot;
+	// InputPos is the input-log length.
+	ChunkPos []int
+	InputPos int
+	// RetiredAt is the global retired-instruction count at the snapshot.
+	RetiredAt uint64
+}
+
 // ErrNoCheckpoint reports a Tail request on a recording made without
 // checkpointing.
 var ErrNoCheckpoint = errors.New("core: recording has no checkpoint (set CheckpointEveryInstrs)")
@@ -61,6 +76,46 @@ func Tail(full *Bundle) (*Bundle, error) {
 	// SigLogs are deliberately dropped: slicing them at the checkpoint
 	// would need the same per-thread positions, and the race detector
 	// works on full recordings, not flight-recorder tails.
+	return tail, nil
+}
+
+// TailAt derives the flight-recorder tail bundle resuming from interval
+// checkpoint k (0-based) of a full bundle. Unlike Tail it needs no
+// RecordStats, so it works on deserialized bundles too; with k equal to
+// the last index it produces the same tail as Tail. The tail shares the
+// checkpoint state and reference final state with the full bundle.
+func TailAt(full *Bundle, k int) (*Bundle, error) {
+	if len(full.IntervalCheckpoints) == 0 {
+		return nil, ErrNoCheckpoint
+	}
+	if k < 0 || k >= len(full.IntervalCheckpoints) {
+		return nil, fmt.Errorf("core: checkpoint index %d out of range (recording has %d)",
+			k, len(full.IntervalCheckpoints))
+	}
+	ck := full.IntervalCheckpoints[k]
+	if err := ck.State.validate(full.Threads); err != nil {
+		return nil, err
+	}
+	if len(ck.ChunkPos) != full.Threads {
+		return nil, fmt.Errorf("core: checkpoint %d has %d chunk positions for %d threads",
+			k, len(ck.ChunkPos), full.Threads)
+	}
+	tail := &Bundle{
+		ProgramName:         full.ProgramName,
+		Threads:             full.Threads,
+		StackWordsPerThread: full.StackWordsPerThread,
+		CountRepIterations:  full.CountRepIterations,
+		Partial:             full.Partial,
+		MemChecksum:         full.MemChecksum,
+		Output:              full.Output,
+		FinalContexts:       full.FinalContexts,
+		RetiredPerThread:    full.RetiredPerThread,
+		Checkpoint:          ck.State,
+	}
+	for t, l := range full.ChunkLogs {
+		tail.ChunkLogs = append(tail.ChunkLogs, l.Slice(ck.ChunkPos[t]))
+	}
+	tail.InputLog = full.InputLog.Slice(ck.InputPos)
 	return tail, nil
 }
 

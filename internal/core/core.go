@@ -39,6 +39,13 @@ type Bundle struct {
 	// bundle: the logs cover only execution after the checkpoint and
 	// replay resumes from its state. Built with Tail.
 	Checkpoint *CheckpointState
+	// IntervalCheckpoints holds every flight-recorder snapshot taken
+	// during the recording, in order, with the log positions that
+	// separate pre- from post-checkpoint entries. Present only on full
+	// bundles recorded with CheckpointEveryInstrs (and on salvaged
+	// bundles whose checkpoints survived the cut); parallel replay
+	// partitions the logs at these points.
+	IntervalCheckpoints []*IntervalCheckpoint
 	// CountRepIterations records the hardware's counting convention
 	// (chunk sizes include REP iterations); the replayer must mirror it.
 	CountRepIterations bool
@@ -78,7 +85,7 @@ func Record(prog *isa.Program, cfg machine.Config) (*Bundle, error) {
 		cfg.StackWordsPerThread = machine.DefaultConfig().StackWordsPerThread
 	}
 	threads := len(res.RetiredPerThread)
-	return &Bundle{
+	b := &Bundle{
 		ProgramName:         prog.Name,
 		Threads:             threads,
 		StackWordsPerThread: cfg.StackWordsPerThread,
@@ -91,16 +98,36 @@ func Record(prog *isa.Program, cfg machine.Config) (*Bundle, error) {
 		FinalContexts:       res.FinalContexts,
 		RetiredPerThread:    res.RetiredPerThread,
 		RecordStats:         res,
-	}, nil
+	}
+	for _, ck := range res.AllCheckpoints {
+		b.IntervalCheckpoints = append(b.IntervalCheckpoints, &IntervalCheckpoint{
+			State:     fromMachineCheckpoint(ck),
+			ChunkPos:  append([]int(nil), ck.ChunkPos...),
+			InputPos:  ck.InputPos,
+			RetiredAt: ck.RetiredAt,
+		})
+	}
+	return b, nil
 }
 
 // Replay re-executes the bundle against prog and returns the replayed
 // state. It does not verify; use Verify or RecordAndVerify for that.
 func Replay(prog *isa.Program, b *Bundle) (*replay.Result, error) {
+	return ReplayWorkers(prog, b, 0)
+}
+
+// ReplayWorkers replays the bundle with a bounded worker pool: when
+// workers resolves to at least 2 and the bundle carries interval
+// checkpoints, the logs are partitioned at the checkpoints and the
+// intervals replay concurrently. 0 and 1 replay serially; negative
+// selects runtime.GOMAXPROCS(0). The Result is bit-identical to serial
+// replay in every mode.
+func ReplayWorkers(prog *isa.Program, b *Bundle, workers int) (*replay.Result, error) {
 	in, err := replayInput(prog, b)
 	if err != nil {
 		return nil, err
 	}
+	in.Workers = workers
 	return replay.Run(in)
 }
 
@@ -124,6 +151,13 @@ func replayInput(prog *isa.Program, b *Bundle) (replay.Input, error) {
 			return in, err
 		}
 		in.Start = b.Checkpoint.startState()
+	}
+	for _, ck := range b.IntervalCheckpoints {
+		in.Checkpoints = append(in.Checkpoints, replay.IntervalCheckpoint{
+			State:    ck.State.startState(),
+			ChunkPos: ck.ChunkPos,
+			InputPos: ck.InputPos,
+		})
 	}
 	return in, nil
 }

@@ -57,7 +57,37 @@ func SalvageStream(data []byte) (*Salvaged, error) {
 		b.FinalContexts = st.Final.FinalContexts
 		b.RetiredPerThread = st.Final.RetiredPerThread
 	}
+	// Every checkpoint that survived inside the salvaged prefix becomes
+	// an interval partition point; truncation (if any) lands in the final
+	// interval because unusable checkpoints were already dropped.
+	for _, cp := range st.Checkpoints {
+		b.IntervalCheckpoints = append(b.IntervalCheckpoints, &IntervalCheckpoint{
+			State:     checkpointStateFromPayload(cp),
+			ChunkPos:  append([]int(nil), cp.ChunkPos...),
+			InputPos:  cp.InputPos,
+			RetiredAt: cp.RetiredAt,
+		})
+	}
 	return &Salvaged{Bundle: b, Report: rep, checkpoint: st.Checkpoint}, nil
+}
+
+// checkpointStateFromPayload converts a streamed checkpoint payload into
+// the bundle's in-memory checkpoint representation.
+func checkpointStateFromPayload(cp *segment.CheckpointPayload) *CheckpointState {
+	cs := &CheckpointState{
+		Mem:          mem.New(uint64(len(cp.MemImage))),
+		HandlerPC:    cp.HandlerPC,
+		HandlerOK:    cp.HandlerOK,
+		OutputPrefix: append([]byte(nil), cp.Output...),
+	}
+	cs.Mem.StoreBytes(0, cp.MemImage)
+	for t := range cp.Contexts {
+		cs.Contexts = append(cs.Contexts, cp.Contexts[t])
+		cs.Exited = append(cs.Exited, cp.Exited[t])
+		cs.SigRegs = append(cs.SigRegs, cp.SigRegs[t])
+		cs.SigPC = append(cs.SigPC, cp.SigPC[t])
+	}
+	return cs
 }
 
 // HasCheckpoint reports whether a flight-recorder snapshot survived
@@ -72,19 +102,7 @@ func (s *Salvaged) Tail() (*Bundle, error) {
 		return nil, ErrNoCheckpoint
 	}
 	cp := s.checkpoint
-	cs := &CheckpointState{
-		Mem:          mem.New(uint64(len(cp.MemImage))),
-		HandlerPC:    cp.HandlerPC,
-		HandlerOK:    cp.HandlerOK,
-		OutputPrefix: append([]byte(nil), cp.Output...),
-	}
-	cs.Mem.StoreBytes(0, cp.MemImage)
-	for t := range cp.Contexts {
-		cs.Contexts = append(cs.Contexts, cp.Contexts[t])
-		cs.Exited = append(cs.Exited, cp.Exited[t])
-		cs.SigRegs = append(cs.SigRegs, cp.SigRegs[t])
-		cs.SigPC = append(cs.SigPC, cp.SigPC[t])
-	}
+	cs := checkpointStateFromPayload(cp)
 	full := s.Bundle
 	tail := &Bundle{
 		ProgramName:         full.ProgramName,

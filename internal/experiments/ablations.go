@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/chunk"
 	"repro/internal/core"
@@ -307,5 +308,63 @@ func A7(cfg Config, w io.Writer) error {
 		return err
 	}
 	_, err := fmt.Fprintln(w, "bloom screening over-approximates (false positives, never false negatives); replay confirmation only shrinks it")
+	return err
+}
+
+// A8 measures the checkpoint-partitioned parallel replay engine: each
+// benchmark is recorded with flight-recorder checkpoints, then replayed
+// serially and on a worker pool. Both replays must verify against the
+// recording — parallel replay is bit-identical to serial by
+// construction, so the only thing that changes is wall time. Speedup is
+// bounded by the interval count and by the host's real core count; on a
+// single-CPU host the measurement degenerates to the engine's overhead.
+func A8(cfg Config, w io.Writer) error {
+	threads := cfg.maxThreads()
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 4
+	}
+	t := report.Table{
+		Title:   fmt.Sprintf("Parallel interval replay (%d threads, %d workers)", threads, workers),
+		Columns: []string{"benchmark", "ckpts", "intervals", "serial ms", "parallel ms", "speedup", "verified"},
+	}
+	for _, spec := range splashOnly(cfg) {
+		full, err := recordBundle(spec, threads, cfg.Seed, func(c *machine.Config) {
+			c.CheckpointEveryInstrs = 60_000
+		})
+		if err != nil {
+			return err
+		}
+		nCkpts := len(full.IntervalCheckpoints)
+		if nCkpts == 0 {
+			t.AddRow(spec.Name, "0", "1", "-", "-", "-", "(run too short)")
+			continue
+		}
+		prog := spec.Build(threads)
+		serialStart := time.Now()
+		sr, err := core.ReplayWorkers(prog, full, 1)
+		serialMS := time.Since(serialStart).Seconds() * 1e3
+		if err != nil {
+			return err
+		}
+		parStart := time.Now()
+		pr, err := core.ReplayWorkers(prog, full, workers)
+		parMS := time.Since(parStart).Seconds() * 1e3
+		if err != nil {
+			return err
+		}
+		verdict := "OK (identical)"
+		if core.Verify(full, sr) != nil || core.Verify(full, pr) != nil {
+			verdict = "MISMATCH"
+		} else if sr.MemChecksum != pr.MemChecksum || sr.Steps != pr.Steps {
+			verdict = "DIVERGED"
+		}
+		t.AddRow(spec.Name, report.U(uint64(nCkpts)), report.U(uint64(nCkpts+1)),
+			report.F(serialMS, 2), report.F(parMS, 2), report.F(serialMS/parMS, 2), verdict)
+	}
+	if _, err := fmt.Fprint(w, t.String()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "checkpoints partition the logs exactly; intervals replay concurrently and validate against the next checkpoint")
 	return err
 }

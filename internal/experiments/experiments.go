@@ -28,6 +28,9 @@ type Config struct {
 	// Seeds averages overhead measurements over this many consecutive
 	// scheduler seeds starting at Seed (default 1: single schedule).
 	Seeds int
+	// Workers is the worker-pool size for the parallel-replay experiment
+	// (0 = 4, the prototype's core count; negative = all CPUs).
+	Workers int
 }
 
 func (c Config) seedList() []uint64 {
@@ -116,6 +119,7 @@ func All() []Experiment {
 		{"A5", "Instruction-counting convention ablation", A5},
 		{"A6", "Stream framing overhead (crash-consistent streaming extension)", A6},
 		{"A7", "Offline data-race detection over recorded logs", A7},
+		{"A8", "Checkpoint-partitioned parallel replay speedup", A8},
 	}
 }
 

@@ -25,7 +25,7 @@ func runExp(t *testing.T, id string) string {
 }
 
 func TestAllExperimentsRegistered(t *testing.T) {
-	want := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "A1", "A2", "A3", "A4", "A5", "A6", "A7"}
+	want := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("%d experiments registered, want %d", len(all), len(want))
@@ -323,5 +323,18 @@ func TestScaleReducesLogRate(t *testing.T) {
 	small, big := rate(1), rate(4)
 	if big >= small {
 		t.Errorf("log rate did not fall with scale: %v -> %v B/kinstr", small, big)
+	}
+}
+
+func TestA8ParallelReplay(t *testing.T) {
+	out := runExp(t, "A8")
+	if !strings.Contains(out, "Parallel interval replay") {
+		t.Fatalf("A8 output missing title:\n%s", out)
+	}
+	if strings.Contains(out, "MISMATCH") || strings.Contains(out, "DIVERGED") {
+		t.Fatalf("A8 reports a replay mismatch:\n%s", out)
+	}
+	if !strings.Contains(out, "OK (identical)") {
+		t.Fatalf("A8 verified no benchmark (all runs too short?):\n%s", out)
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/races"
+	"repro/internal/workload"
 )
 
 // BenchResult is one workload's measured recording throughput:
@@ -64,11 +65,12 @@ func MeasureRecordThroughput(name string, threads, cores, runs int) (*BenchResul
 
 // MeasureScreenThroughput records the named workload once with
 // signature capture, then times the race detector's screening phase over
-// that recording runs times. Throughput is recorded instructions
-// screened per second of host wall time, so the number is comparable to
-// the recording benchmarks: how fast the offline pass chews through a
-// recording relative to its execution size.
-func MeasureScreenThroughput(name string, threads, cores, runs int) (*BenchResult, error) {
+// that recording runs times, on the given worker count (0 or 1: serial).
+// Throughput is recorded instructions screened per second of host wall
+// time, so the number is comparable to the recording benchmarks: how
+// fast the offline pass chews through a recording relative to its
+// execution size.
+func MeasureScreenThroughput(name string, threads, cores, workers, runs int) (*BenchResult, error) {
 	prog, err := buildProgram(name, threads)
 	if err != nil {
 		return nil, err
@@ -86,11 +88,61 @@ func MeasureScreenThroughput(name string, threads, cores, runs int) (*BenchResul
 	if runs < 1 {
 		runs = 1
 	}
-	res := &BenchResult{Workload: "screen:" + name, Threads: threads, Cores: cores, Instrs: instrs}
+	label := "screen:" + name
+	if workers > 1 {
+		label = "screen:par"
+	}
+	res := &BenchResult{Workload: label, Threads: threads, Cores: cores, Instrs: instrs}
 	for i := 0; i < runs; i++ {
 		start := time.Now()
-		if _, err := races.Screen(rec); err != nil {
+		if _, err := races.ScreenWorkers(rec, workers); err != nil {
 			return nil, fmt.Errorf("harness: bench screening of %s failed: %w", name, err)
+		}
+		if tput := float64(instrs) / time.Since(start).Seconds(); tput > res.InstrsPerSec {
+			res.InstrsPerSec = tput
+		}
+	}
+	return res, nil
+}
+
+// benchReplayIters sizes the replay benchmark's counter workload, and
+// benchReplayCheckpointEvery its flight-recorder cadence — together they
+// yield a recording of a dozen-plus intervals, enough for a 4-worker
+// pool to show its speedup over serial replay.
+const (
+	benchReplayIters           = 50000
+	benchReplayCheckpointEvery = 50000
+)
+
+// MeasureReplayThroughput records one large checkpointed counter run and
+// times core.ReplayWorkers over it runs times on the given worker count
+// (0 or 1: serial interval-free replay; >1: checkpoint-partitioned
+// parallel replay). Throughput is recorded instructions replayed per
+// second of host wall time.
+func MeasureReplayThroughput(threads, cores, workers, runs int) (*BenchResult, error) {
+	prog := workload.Counter(benchReplayIters, threads)
+	cfg := recordConfig(cores, threads, 1)
+	cfg.CheckpointEveryInstrs = benchReplayCheckpointEvery
+	rec, err := core.Record(prog, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("harness: bench recording for replay failed: %w", err)
+	}
+	var instrs uint64
+	for _, r := range rec.RetiredPerThread {
+		instrs += r
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	label := "replay:serial"
+	if workers > 1 {
+		label = "replay:par"
+	}
+	res := &BenchResult{Workload: label, Threads: threads, Cores: cores, Instrs: instrs}
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		if _, err := core.ReplayWorkers(prog, rec, workers); err != nil {
+			return nil, fmt.Errorf("harness: bench replay failed: %w", err)
 		}
 		if tput := float64(instrs) / time.Since(start).Seconds(); tput > res.InstrsPerSec {
 			res.InstrsPerSec = tput
@@ -101,10 +153,18 @@ func MeasureScreenThroughput(name string, threads, cores, runs int) (*BenchResul
 
 // measureWorkload dispatches a baseline entry: plain names bench
 // recording throughput, "screen:<name>" benches the race detector's
-// screening phase over a recording of <name>.
+// screening phase over a recording of <name>, "screen:par" the same
+// phase for racy on a 4-worker pool, and "replay:par" the
+// checkpoint-partitioned parallel replay engine on 4 workers.
 func measureWorkload(name string, threads, cores, runs int) (*BenchResult, error) {
+	switch name {
+	case "replay:par":
+		return MeasureReplayThroughput(threads, cores, 4, runs)
+	case "screen:par":
+		return MeasureScreenThroughput("racy", threads, cores, 4, runs)
+	}
 	if rest, ok := strings.CutPrefix(name, "screen:"); ok {
-		return MeasureScreenThroughput(rest, threads, cores, runs)
+		return MeasureScreenThroughput(rest, threads, cores, 0, runs)
 	}
 	return MeasureRecordThroughput(name, threads, cores, runs)
 }

@@ -37,7 +37,9 @@ type CrashConfig struct {
 	// BitFlips is the number of single-bit stream corruptions per cell
 	// (default 12).
 	BitFlips int
-	// Seed drives schedules and injection sites.
+	// Seed drives schedules and injection sites. Every value is honored,
+	// including 0 — zero is a valid seed, not a request for the default
+	// (DefaultCrashConfig uses 1).
 	Seed uint64
 	// FlushEveryChunks is the stream flush cadence; kept small so even
 	// short workloads span many epochs (default 8).
@@ -80,9 +82,7 @@ func (c *CrashConfig) fill() {
 	if c.BitFlips <= 0 {
 		c.BitFlips = d.BitFlips
 	}
-	if c.Seed == 0 {
-		c.Seed = d.Seed
-	}
+	// Seed is deliberately not defaulted: 0 is a valid seed (see Config).
 	if c.FlushEveryChunks == 0 {
 		c.FlushEveryChunks = d.FlushEveryChunks
 	}

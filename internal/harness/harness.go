@@ -58,6 +58,8 @@ type Config struct {
 	// injection site for each mutation slot (default 24).
 	RerollBudget int
 	// Seed drives both the recording schedules and the injection sites.
+	// Every value is honored, including 0 — zero is a valid seed, not a
+	// request for the default (DefaultConfig uses 1).
 	Seed uint64
 	// SkipMetamorphic disables the metamorphic property pass.
 	SkipMetamorphic bool
@@ -98,9 +100,8 @@ func (c *Config) fill() {
 	if c.RerollBudget <= 0 {
 		c.RerollBudget = d.RerollBudget
 	}
-	if c.Seed == 0 {
-		c.Seed = d.Seed
-	}
+	// Seed is deliberately not defaulted: 0 is a valid seed, and silently
+	// substituting 1 would make two distinct configurations alias.
 }
 
 // buildProgram resolves a workload name — catalogue entry or
@@ -166,6 +167,11 @@ func runCell(cfg Config, rep *Report, name string, prog *isa.Program, cores int)
 	}
 	if !cfg.SkipMetamorphic {
 		for _, pr := range checkMetamorphic(prog, mcfg, rec) {
+			rep.Meta = append(rep.Meta, MetaResult{
+				Workload: name, Cores: cores, Property: pr.Property, Err: pr.Err,
+			})
+		}
+		if pr := checkParallelReplay(prog, mcfg); pr != nil {
 			rep.Meta = append(rep.Meta, MetaResult{
 				Workload: name, Cores: cores, Property: pr.Property, Err: pr.Err,
 			})

@@ -31,7 +31,9 @@ func TestRunSmallMatrix(t *testing.T) {
 	if fails := rep.MetaFailures(); len(fails) != 0 {
 		t.Errorf("metamorphic failures: %v", fails)
 	}
-	wantMeta := len(cfg.Workloads) * len(cfg.Cores) * 4
+	// Four base properties plus parallel-replay-matches-serial per cell;
+	// neither workload here declares a race expectation.
+	wantMeta := len(cfg.Workloads) * len(cfg.Cores) * 5
 	if got := len(rep.Meta); got != wantMeta {
 		t.Errorf("metamorphic results: got %d, want %d", got, wantMeta)
 	}
@@ -108,8 +110,13 @@ func TestConfigFill(t *testing.T) {
 	d := DefaultConfig()
 	if len(c.Workloads) != len(d.Workloads) || c.Threads != d.Threads ||
 		c.MutationsPerClass != d.MutationsPerClass || c.RerollBudget != d.RerollBudget ||
-		len(c.Faults) != len(d.Faults) || c.Seed != d.Seed {
+		len(c.Faults) != len(d.Faults) {
 		t.Errorf("fill() did not apply defaults: %+v", c)
+	}
+	// Seed 0 is a valid seed and must survive fill() untouched — it is
+	// not an ask for the default.
+	if c.Seed != 0 {
+		t.Errorf("fill() replaced zero seed with %d", c.Seed)
 	}
 	// Explicit values survive.
 	c = Config{Workloads: []string{"counter"}, Cores: []int{1}, Threads: 2, MutationsPerClass: 1, Seed: 3}

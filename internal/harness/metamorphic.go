@@ -25,6 +25,7 @@ const (
 	PropSerializationClosure = "recording-survives-serialization"
 	PropReplayDeterminism    = "replay-twice-is-identical"
 	PropRaceExpectation      = "race-expectation-holds"
+	PropParallelReplay       = "parallel-replay-matches-serial"
 )
 
 // checkMetamorphic runs the metamorphic properties against prog under
@@ -113,6 +114,64 @@ func checkMetamorphic(prog *isa.Program, cfg machine.Config, rec *core.Bundle) [
 	}())
 
 	return out
+}
+
+// checkParallelReplay pins the parallel replay engine's defining
+// property: splitting a checkpointed recording into intervals and
+// replaying them on 4 workers produces a Result identical to serial
+// replay — state, output, counters, everything. The conformance
+// recording is made without checkpoints, so the property records its own
+// flight-recorder bundle under the same config.
+func checkParallelReplay(prog *isa.Program, cfg machine.Config) *PropertyResult {
+	pr := &PropertyResult{Property: PropParallelReplay}
+	err := func() error {
+		// Cadence low enough that even the short conformance workloads
+		// partition into several intervals; a workload too small to cross
+		// it even once still gets the 1-vs-4 comparison (both serial),
+		// which keeps the Workers plumbing honest without failing
+		// vacuously.
+		cfg.CheckpointEveryInstrs = 500
+		rec, err := core.Record(prog, cfg)
+		if err != nil {
+			return fmt.Errorf("checkpointed recording failed: %w", err)
+		}
+		serial, err := core.ReplayWorkers(prog, rec, 1)
+		if err != nil {
+			return fmt.Errorf("serial replay: %w", err)
+		}
+		par, err := core.ReplayWorkers(prog, rec, 4)
+		if err != nil {
+			return fmt.Errorf("parallel replay: %w", err)
+		}
+		if serial.MemChecksum != par.MemChecksum {
+			return fmt.Errorf("memory checksums differ: %#x vs %#x", serial.MemChecksum, par.MemChecksum)
+		}
+		if !bytes.Equal(serial.Output, par.Output) {
+			return fmt.Errorf("outputs differ: %d vs %d bytes", len(serial.Output), len(par.Output))
+		}
+		if serial.Steps != par.Steps || serial.ChunksExecuted != par.ChunksExecuted ||
+			serial.InputsApplied != par.InputsApplied {
+			return fmt.Errorf("counters differ: steps %d/%d chunks %d/%d inputs %d/%d",
+				serial.Steps, par.Steps, serial.ChunksExecuted, par.ChunksExecuted,
+				serial.InputsApplied, par.InputsApplied)
+		}
+		for t := range serial.FinalContexts {
+			if serial.FinalContexts[t] != par.FinalContexts[t] {
+				return fmt.Errorf("thread %d final context differs", t)
+			}
+		}
+		if !serial.FinalMem.Equal(par.FinalMem) {
+			return fmt.Errorf("final memory images differ")
+		}
+		if err := core.Verify(rec, par); err != nil {
+			return fmt.Errorf("parallel replay fails verification: %w", err)
+		}
+		return nil
+	}()
+	if err != nil {
+		pr.Err = err.Error()
+	}
+	return pr
 }
 
 // checkRaceExpectation runs the offline race detector against workloads

@@ -92,6 +92,7 @@ func (m *Machine) maybeCheckpoint() {
 		ck.ChunkPos[t] = m.session.ChunkLog(t).Len()
 	}
 	m.checkpoint = ck
+	m.allCheckpoints = append(m.allCheckpoints, ck)
 	m.checkpoints++
 	m.streamCheckpoint(ck)
 	m.acct.Add(perf.CompKernel, m.cfg.Perf.CheckpointCost)

@@ -200,6 +200,10 @@ type Result struct {
 	// Checkpoint is the last flight-recorder snapshot (nil unless
 	// Config.CheckpointEveryInstrs was set and a boundary was crossed).
 	Checkpoint *Checkpoint
+	// AllCheckpoints holds every snapshot taken, in the order they were
+	// taken; the last element aliases Checkpoint. Interval-partitioned
+	// parallel replay uses these as split points.
+	AllCheckpoints []*Checkpoint
 	// Checkpoints counts snapshots taken.
 	Checkpoints uint64
 	// StreamSegments/StreamBytes/StreamFramingBytes describe the
@@ -241,11 +245,12 @@ type Machine struct {
 	// lastWriteTS orders write syscalls across threads: the kernel's
 	// output stream is a shared object, so successive writes carry
 	// strictly increasing timestamps.
-	lastWriteTS uint64
-	nextCkpt    uint64
-	checkpoint  *Checkpoint
-	checkpoints uint64
-	ran         bool
+	lastWriteTS    uint64
+	nextCkpt       uint64
+	checkpoint     *Checkpoint
+	allCheckpoints []*Checkpoint
+	checkpoints    uint64
+	ran            bool
 
 	// Streaming state (nil/zero unless Config.StreamTo is set).
 	stream           *segment.Writer

@@ -376,6 +376,7 @@ func (m *Machine) finalize() *Result {
 		CtxSwitches:      m.switches,
 		SignalsDelivered: m.signals,
 		Checkpoint:       m.checkpoint,
+		AllCheckpoints:   m.allCheckpoints,
 		Checkpoints:      m.checkpoints,
 	}
 	for _, th := range m.threads {

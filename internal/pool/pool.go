@@ -1,0 +1,63 @@
+// Package pool provides a minimal bounded fan-out helper shared by the
+// parallel replay engine and the race-analysis paths. Work is always
+// index-based: callers pass a task count and a function of the task
+// index, and collect results into pre-sized slices so that output order
+// is fixed by index, never by goroutine completion order.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve normalizes a caller-facing worker count, the convention every
+// Workers knob in this codebase shares: 0 and 1 select serial execution
+// (the zero value changes nothing), values above 1 are honored as-is,
+// and negative values select runtime.GOMAXPROCS(0).
+func Resolve(n int) int {
+	if n < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, tasks) on at most workers
+// goroutines and returns when all calls have finished. With workers <= 1
+// (or a single task) the calls run inline on the caller's goroutine, so
+// the serial path has no scheduling nondeterminism at all. fn must
+// confine its writes to per-index state; ForEach provides the
+// happens-before edge between every fn call and its own return.
+func ForEach(workers, tasks int, fn func(i int)) {
+	if tasks <= 0 {
+		return
+	}
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers <= 1 {
+		for i := 0; i < tasks; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= tasks {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

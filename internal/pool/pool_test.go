@@ -1,0 +1,45 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {7, 7},
+		{-1, runtime.GOMAXPROCS(0)}, {-100, runtime.GOMAXPROCS(0)},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.in); got != c.want {
+			t.Errorf("Resolve(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		for _, tasks := range []int{0, 1, 3, 100} {
+			counts := make([]int32, tasks)
+			ForEach(workers, tasks, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, n := range counts {
+				if n != 1 {
+					t.Errorf("workers=%d tasks=%d: index %d ran %d times", workers, tasks, i, n)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachSerialRunsInOrder(t *testing.T) {
+	var order []int
+	ForEach(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial ForEach out of order: %v", order)
+		}
+	}
+}

@@ -3,9 +3,9 @@ package races
 import (
 	"sort"
 
-	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/pool"
 	"repro/internal/replay"
 )
 
@@ -52,14 +52,24 @@ type Report struct {
 // candidate set — a pair absent from Candidates cannot hold a race
 // between Lamport-concurrent chunks.
 func Detect(prog *isa.Program, b *core.Bundle) (*Report, error) {
-	cands, err := Screen(b)
+	return DetectWorkers(prog, b, 0)
+}
+
+// DetectWorkers is Detect with both phases' parallelizable parts fanned
+// out over a bounded worker pool (0 or 1 workers: serial, negative:
+// runtime.GOMAXPROCS(0)): screening parallelizes per concurrent pair,
+// confirmation per conflict address. The access-traced replay itself
+// stays serial — it is a single deterministic execution. The report is
+// identical for every worker count.
+func DetectWorkers(prog *isa.Program, b *core.Bundle, workers int) (*Report, error) {
+	cands, pairs, err := screen(b, workers)
 	if err != nil {
 		return nil, err
 	}
 	rep := &Report{
 		Program:         b.ProgramName,
 		Threads:         b.Threads,
-		ConcurrentPairs: len(analysis.ConcurrentPairs(b.ChunkLogs)),
+		ConcurrentPairs: pairs,
 		Candidates:      cands,
 	}
 	for _, l := range b.ChunkLogs {
@@ -72,7 +82,7 @@ func Detect(prog *isa.Program, b *core.Bundle) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep.Races, rep.ConfirmedPairs = confirm(b.Threads, cands, events)
+	rep.Races, rep.ConfirmedPairs = confirm(b.Threads, cands, events, workers)
 	rep.FalsePositiveRate = float64(len(cands)-rep.ConfirmedPairs) / float64(len(cands))
 	return rep, nil
 }
@@ -118,7 +128,7 @@ type raceKey struct {
 // snapshot their thread's clock. Addresses that carry synchronization
 // are excluded from race reporting — the program is ordering itself
 // through them on purpose.
-func confirm(threads int, cands []Candidate, events []replay.AccessEvent) ([]Race, int) {
+func confirm(threads int, cands []Candidate, events []replay.AccessEvent, workers int) ([]Race, int) {
 	candChunks := map[[2]int]bool{}
 	candPairs := map[pairKey]bool{}
 	for _, c := range cands {
@@ -188,11 +198,27 @@ func confirm(threads int, cands []Candidate, events []replay.AccessEvent) ([]Rac
 		}
 	}
 
-	// Pair up unordered conflicting samples within candidate pairs.
-	seen := map[raceKey]bool{}
-	confirmed := map[pairKey]bool{}
-	var races []Race
-	for addr, samples := range byAddr {
+	// Pair up unordered conflicting samples within candidate pairs. Every
+	// race pairs two samples of one address and raceKey includes the
+	// address, so addresses are independent units of work: fan them out
+	// over the pool (sorted so the slot order is stable), collect each
+	// address's races and confirmed pairs into its own slot, and merge in
+	// address order.
+	addrs := make([]uint64, 0, len(byAddr))
+	for addr := range byAddr {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	type addrRaces struct {
+		races     []Race
+		confirmed []pairKey
+	}
+	slots := make([]addrRaces, len(addrs))
+	pool.ForEach(pool.Resolve(workers), len(addrs), func(n int) {
+		addr := addrs[n]
+		samples := byAddr[addr]
+		seen := map[raceKey]bool{}
+		addrConfirmed := map[pairKey]bool{}
 		for i, a := range samples {
 			for _, bs := range samples[i+1:] {
 				if a.thread == bs.thread || (!a.write && !bs.write) {
@@ -214,15 +240,28 @@ func confirm(threads int, cands []Candidate, events []replay.AccessEvent) ([]Rac
 					continue
 				}
 				seen[rk] = true
-				confirmed[pk] = true
-				races = append(races, Race{
+				if !addrConfirmed[pk] {
+					addrConfirmed[pk] = true
+					slots[n].confirmed = append(slots[n].confirmed, pk)
+				}
+				slots[n].races = append(slots[n].races, Race{
 					Addr:    addr,
 					ThreadA: lo.thread, PCA: lo.pc, ChunkA: lo.chunk, KindA: kindName(lo.write),
 					ThreadB: hi.thread, PCB: hi.pc, ChunkB: hi.chunk, KindB: kindName(hi.write),
 				})
 			}
 		}
+	})
+	confirmed := map[pairKey]bool{}
+	var races []Race
+	for _, s := range slots {
+		races = append(races, s.races...)
+		for _, pk := range s.confirmed {
+			confirmed[pk] = true
+		}
 	}
+	// Total order: the tie-breakers past PCB make the sort independent of
+	// the pre-sort order, so serial and parallel runs report identically.
 	sort.Slice(races, func(i, j int) bool {
 		a, b := races[i], races[j]
 		if a.Addr != b.Addr {
@@ -234,7 +273,19 @@ func confirm(threads int, cands []Candidate, events []replay.AccessEvent) ([]Rac
 		if a.PCA != b.PCA {
 			return a.PCA < b.PCA
 		}
-		return a.PCB < b.PCB
+		if a.PCB != b.PCB {
+			return a.PCB < b.PCB
+		}
+		if a.ChunkA != b.ChunkA {
+			return a.ChunkA < b.ChunkA
+		}
+		if a.ChunkB != b.ChunkB {
+			return a.ChunkB < b.ChunkB
+		}
+		if a.KindA != b.KindA {
+			return a.KindA < b.KindA
+		}
+		return a.KindB < b.KindB
 	})
 	return races, len(confirmed)
 }

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/pool"
 	"repro/internal/signature"
 )
 
@@ -52,12 +53,31 @@ type Candidate struct {
 // (never a panic) when the bundle lacks signature logs or carries
 // corrupt or geometry-mismatched signatures.
 func Screen(b *core.Bundle) ([]Candidate, error) {
+	return ScreenWorkers(b, 0)
+}
+
+// ScreenWorkers is Screen with the concurrent-pair enumeration and the
+// per-pair signature intersections fanned out over a bounded worker pool
+// (0 or 1 workers: serial, negative: runtime.GOMAXPROCS(0)). Candidates
+// are collected into per-pair slots and compacted in pair order, so the
+// result is identical for every worker count.
+func ScreenWorkers(b *core.Bundle, workers int) ([]Candidate, error) {
+	cands, _, err := screen(b, workers)
+	return cands, err
+}
+
+// screen implements Screen/ScreenWorkers and additionally returns the
+// concurrent-pair count so Detect need not re-enumerate the pairs.
+func screen(b *core.Bundle, workers int) ([]Candidate, int, error) {
 	decoded, err := decodeSigLogs(b)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	var out []Candidate
-	for _, pair := range analysis.ConcurrentPairs(b.ChunkLogs) {
+	pairs := analysis.ConcurrentPairsWorkers(b.ChunkLogs, workers)
+	slots := make([]Candidate, len(pairs))
+	hit := make([]bool, len(pairs))
+	pool.ForEach(pool.Resolve(workers), len(pairs), func(i int) {
+		pair := pairs[i]
 		sa := decoded[pair.ThreadA][pair.ChunkA]
 		sb := decoded[pair.ThreadB][pair.ChunkB]
 		c := Candidate{
@@ -67,10 +87,16 @@ func Screen(b *core.Bundle) ([]Candidate, error) {
 			WriteWrite: sa.write.Intersects(sb.write),
 		}
 		if c.ReadWrite || c.WriteRead || c.WriteWrite {
-			out = append(out, c)
+			slots[i], hit[i] = c, true
+		}
+	})
+	var out []Candidate
+	for i := range slots {
+		if hit[i] {
+			out = append(out, slots[i])
 		}
 	}
-	return out, nil
+	return out, len(pairs), nil
 }
 
 // chunkSigs is one chunk's decoded signature pair.

@@ -3,6 +3,7 @@ package races
 import (
 	"encoding/json"
 	"errors"
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -152,5 +153,42 @@ func TestScreenErrorsNotPanics(t *testing.T) {
 	b3.SigLogs[0] = b3.SigLogs[0][:len(b3.SigLogs[0])-1]
 	if _, err := Screen(b3); err == nil {
 		t.Error("sig/chunk count mismatch accepted")
+	}
+}
+
+func TestDetectParallelMatchesSerial(t *testing.T) {
+	// Both phases fan out over the pool (pair screening, per-address
+	// confirmation); the report must be deep-equal for every worker count,
+	// including a GOMAXPROCS-sized pool.
+	for _, mk := range []struct {
+		name string
+		prog *isa.Program
+	}{
+		{"racy", workload.Racy(150, 4)},
+		{"racefree", workload.RaceFree(80, 4)},
+	} {
+		prog := mk.prog
+		b := record(t, prog, 4, 4, 21)
+		serial, err := DetectWorkers(prog, b, 1)
+		if err != nil {
+			t.Fatalf("%s serial: %v", mk.name, err)
+		}
+		for _, w := range []int{4, -1} {
+			par, err := DetectWorkers(prog, b, w)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", mk.name, w, err)
+			}
+			if !reflect.DeepEqual(serial, par) {
+				t.Errorf("%s workers=%d: report differs from serial\nserial: %+v\npar:    %+v",
+					mk.name, w, serial, par)
+			}
+		}
+		cands, err := ScreenWorkers(b, 4)
+		if err != nil {
+			t.Fatalf("%s screen workers=4: %v", mk.name, err)
+		}
+		if !reflect.DeepEqual(cands, serial.Candidates) {
+			t.Errorf("%s: ScreenWorkers(4) candidates differ from serial Detect's", mk.name)
+		}
 	}
 }

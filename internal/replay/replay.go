@@ -62,6 +62,32 @@ type Input struct {
 	// validated — truncation is a property of the log, not a waiver of
 	// checking.
 	AllowTruncated bool
+	// Workers selects how many goroutines Run may use for parallel
+	// interval replay. 0 or 1 replays serially; values above 1 split the
+	// recording at Checkpoints into independent intervals and replay
+	// them concurrently (see parallel.go). Negative values select
+	// runtime.GOMAXPROCS(0). Results are bit-identical to serial replay:
+	// each interval executes the exact per-thread log slice the serial
+	// schedule would, and every interior boundary state is validated
+	// against the next checkpoint.
+	Workers int
+	// Checkpoints lists the recording's flight-recorder snapshots in
+	// RetiredAt order. Only consulted when Workers enables parallel
+	// replay and Start is nil (a tail replay already has a single
+	// implied interval); ChunkPos/InputPos index into ChunkLogs/InputLog.
+	Checkpoints []IntervalCheckpoint
+}
+
+// IntervalCheckpoint locates one flight-recorder snapshot inside a full
+// recording: the machine state at the boundary plus the log positions
+// that separate pre- from post-checkpoint entries.
+type IntervalCheckpoint struct {
+	// State is the machine state at the checkpoint boundary.
+	State *StartState
+	// ChunkPos[t] is thread t's chunk-log length at the snapshot;
+	// InputPos is the input-log length.
+	ChunkPos []int
+	InputPos int
 }
 
 // TruncatedReplay describes a best-effort prefix replay that consumed a
@@ -199,6 +225,14 @@ type replayer struct {
 	handlerPC int
 	handlerOK bool
 	res       Result
+	// chunkBase[t] offsets interval-relative chunk indices into the full
+	// recording's chunk log, so divergence reports from a parallel
+	// interval name the absolute chunk (nil for whole-recording replay).
+	chunkBase []int
+	// boundary, when non-nil, is the expected machine state at the end
+	// of this interval (the next checkpoint); finish() validates against
+	// it instead of requiring threads to halt or exit.
+	boundary *intervalBoundary
 	// bp, when set, pauses execution at a thread-local position (see
 	// RunUntil).
 	bp *Breakpoint
@@ -252,6 +286,9 @@ func runChecked(in Input) (*Result, error) {
 			return nil, fmt.Errorf("replay: inconsistent checkpoint: %d contexts, %d exit flags for %d threads",
 				len(s.Contexts), len(s.Exited), in.Threads)
 		}
+	}
+	if ivs := partition(in); len(ivs) > 1 {
+		return runParallel(in, ivs)
 	}
 	r := &replayer{in: in}
 	r.setup()
@@ -409,7 +446,11 @@ func (r *replayer) loop() error {
 }
 
 func (r *replayer) diverge(t *threadState, format string, args ...any) error {
-	return &DivergenceError{Thread: t.id, Chunk: t.chunksDone, Reason: fmt.Sprintf(format, args...)}
+	ck := t.chunksDone
+	if r.chunkBase != nil {
+		ck += r.chunkBase[t.id]
+	}
+	return &DivergenceError{Thread: t.id, Chunk: ck, Reason: fmt.Sprintf(format, args...)}
 }
 
 // checkBudget enforces Input.MaxSteps.
@@ -566,6 +607,9 @@ func (r *replayer) applySyscall(t *threadState, rec capo.Record) error {
 
 // finish validates final thread states and assembles the result.
 func (r *replayer) finish() (*Result, error) {
+	if r.boundary != nil {
+		return r.finishAtBoundary()
+	}
 	for _, t := range r.threads {
 		if !t.exited {
 			if !t.core.Halted() {

@@ -22,6 +22,10 @@ type Stream struct {
 	// Checkpoint is the last flight-recorder snapshot whose log
 	// positions fall inside the retained prefix (nil if none survived).
 	Checkpoint *CheckpointPayload
+	// Checkpoints holds every surviving snapshot in stream order; the
+	// last element aliases Checkpoint. Parallel replay partitions the
+	// salvaged prefix at these points.
+	Checkpoints []*CheckpointPayload
 	// Final is the reference final state; non-nil iff the stream is
 	// complete (ends with an intact Final segment).
 	Final *FinalPayload
@@ -467,18 +471,19 @@ func Salvage(data []byte) (*Stream, *Report, error) {
 		rep.Complete = sc.final != nil
 	}
 
-	// Keep the last checkpoint whose positions fall inside the retained
-	// (post-cut) prefix.
-	for i := len(sc.ckpts) - 1; i >= 0; i-- {
-		cp := sc.ckpts[i]
+	// Keep every checkpoint whose positions fall inside the retained
+	// (post-cut) prefix. The horizon cut only removes suffixes, so
+	// usable checkpoints always form a prefix of those scanned; the last
+	// one doubles as the resume point for tail replay.
+	for _, cp := range sc.ckpts {
 		if checkpointUsable(cp, st) {
-			st.Checkpoint = cp
-			rep.CheckpointsDropped = len(sc.ckpts) - 1 - i
-			break
+			st.Checkpoints = append(st.Checkpoints, cp)
+		} else {
+			rep.CheckpointsDropped++
 		}
-		if i == 0 {
-			rep.CheckpointsDropped = len(sc.ckpts)
-		}
+	}
+	if n := len(st.Checkpoints); n > 0 {
+		st.Checkpoint = st.Checkpoints[n-1]
 	}
 	return st, rep, nil
 }

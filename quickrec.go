@@ -239,6 +239,18 @@ func Replay(prog *Program, rec *Recording) (*ReplayResult, error) {
 	return core.Replay(prog, rec)
 }
 
+// ReplayParallel is Replay on a bounded worker pool: a recording made
+// with Options.CheckpointEveryInstrs is partitioned at its checkpoints
+// into independent intervals that replay concurrently, each validated
+// against the next checkpoint's state (see docs/INTERNALS.md §12).
+// workers 0 or 1 replays serially; negative selects
+// runtime.GOMAXPROCS(0). The result is identical to serial Replay for
+// every worker count; a recording without checkpoints replays serially
+// regardless.
+func ReplayParallel(prog *Program, rec *Recording, workers int) (*ReplayResult, error) {
+	return core.ReplayWorkers(prog, rec, workers)
+}
+
 // Verify checks that a replay reproduced its recording exactly: final
 // memory image, program output, per-thread instruction counts and
 // architectural state.
@@ -285,8 +297,9 @@ func Trace(prog *Program, rec *Recording, tid int, from, to uint64) ([]TraceEntr
 }
 
 // ConformanceConfig parameterises a Conformance run; the zero value
-// (filled with defaults) is the acceptance matrix. Workload entries are
-// catalogue names, or "fuzz:<seed>" for a generated program.
+// (filled with defaults) is the acceptance matrix run with seed 0 —
+// every Seed value is honored as-is, zero included. Workload entries
+// are catalogue names, or "fuzz:<seed>" for a generated program.
 type ConformanceConfig = harness.Config
 
 // ConformanceReport is a conformance run's findings: metamorphic
@@ -332,6 +345,14 @@ var ErrNoSignatures = races.ErrNoSignatures
 // docs/INTERNALS.md §11.
 func Races(prog *Program, rec *Recording) (*RaceReport, error) {
 	return races.Detect(prog, rec)
+}
+
+// RacesParallel is Races with the screening and confirmation phases
+// fanned out over a bounded worker pool (workers 0 or 1: serial,
+// negative: runtime.GOMAXPROCS(0)). The report is identical to the
+// serial detector's for every worker count.
+func RacesParallel(prog *Program, rec *Recording, workers int) (*RaceReport, error) {
+	return races.DetectWorkers(prog, rec, workers)
 }
 
 // Tail derives the flight-recorder bundle from a recording made with
