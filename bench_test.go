@@ -297,22 +297,31 @@ func BenchmarkRecordEndToEnd(b *testing.B) {
 	}
 }
 
-// BenchmarkBundleMarshal: recording serialization round trip.
-func BenchmarkBundleMarshal(b *testing.B) {
-	prog, err := quickrec.BuildWorkload("radix", 4)
-	if err != nil {
-		b.Fatal(err)
-	}
-	rec, err := quickrec.Record(prog, quickrec.Options{Seed: benchSeed})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		data := rec.Marshal()
-		if _, err := core.UnmarshalBundle(data); err != nil {
-			b.Fatal(err)
-		}
+// BenchmarkBundleRoundTrip: recording serialization round trip
+// (encode + decode) on a conflict-heavy and an input-heavy recording —
+// the codec hot path the wire layer exists for. Run with -benchmem; the
+// allocs/op numbers are tracked in BENCH_baseline.json.
+func BenchmarkBundleRoundTrip(b *testing.B) {
+	for _, name := range []string{"radix", "ioheavy"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			prog, err := quickrec.BuildWorkload(name, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec, err := quickrec.Record(prog, quickrec.Options{Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				data := rec.Marshal()
+				if _, err := core.UnmarshalBundle(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -11,6 +11,8 @@
 //	quickbench -threads 1,2,4  # thread sweep
 //	quickbench -seed 7         # scheduler seed
 //	quickbench -list           # list experiments
+//	quickbench -baseline internal/harness/BENCH_baseline.json
+//	                           # rewrite the regression-guard baseline
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/harness"
 )
 
 func main() {
@@ -31,12 +34,29 @@ func main() {
 	seeds := flag.Int("seeds", 1, "average overhead experiments over this many schedules")
 	workers := flag.Int("workers", 0, "worker pool for the parallel-replay experiment (0 = 4, negative = all CPUs)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	baseline := flag.String("baseline", "", "measure the guard workloads and write a BENCH_baseline.json to this path, then exit")
+	runs := flag.Int("runs", 5, "runs per workload for -baseline")
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
+		return
+	}
+
+	if *baseline != "" {
+		b, err := harness.WriteBaseline(*baseline, harness.BaselineWorkloads, 4, 4, *runs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quickbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-13s %12s %12s %12s\n", "workload", "M instrs/s", "allocs/op", "B/op")
+		for _, r := range b.Results {
+			fmt.Printf("%-13s %12.2f %12d %12d\n",
+				r.Workload, r.InstrsPerSec/1e6, r.AllocsPerOp, r.BytesPerOp)
+		}
+		fmt.Println("wrote", *baseline)
 		return
 	}
 

@@ -11,11 +11,11 @@
 package capo
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 
 	"repro/internal/chunk"
+	"repro/internal/wire"
 )
 
 // RecordKind distinguishes input-log record types.
@@ -70,7 +70,9 @@ func (r Record) String() string {
 // EncodedSize returns the record's serialized size in bytes, used for
 // log-volume accounting (F4).
 func (r Record) EncodedSize() int {
-	return len(appendRecord(nil, r))
+	var a wire.Appender
+	appendRecord(&a, r)
+	return a.Len()
 }
 
 // InputLog is a recording session's complete input log. Records appear in
@@ -127,36 +129,51 @@ const inputVersion = 1
 
 // Marshal serializes the log with a versioned header.
 func (l *InputLog) Marshal() []byte {
-	out := make([]byte, 0, 64+len(l.Records)*24)
-	out = append(out, inputMagic[:]...)
-	out = append(out, inputVersion)
-	out = binary.AppendUvarint(out, uint64(len(l.Records)))
-	for _, r := range l.Records {
-		out = appendRecord(out, r)
-	}
-	return out
+	a := wire.AppenderOf(make([]byte, 0, 64+l.SizeHint()))
+	l.AppendMarshal(&a)
+	return a.Buf
 }
 
-func appendRecord(dst []byte, r Record) []byte {
-	dst = append(dst, byte(r.Kind))
-	dst = binary.AppendUvarint(dst, uint64(r.Thread))
-	dst = binary.AppendUvarint(dst, uint64(r.Seq))
-	dst = binary.AppendUvarint(dst, r.TS)
+// AppendMarshal serializes the log onto a, letting containers (the
+// bundle) reuse one buffer across their nested logs.
+func (l *InputLog) AppendMarshal(a *wire.Appender) {
+	a.Raw(inputMagic[:])
+	a.Byte(inputVersion)
+	a.Int(len(l.Records))
+	for _, r := range l.Records {
+		appendRecord(a, r)
+	}
+}
+
+// SizeHint estimates the marshalled size: per-record framing plus the
+// raw data payloads, which dominate syscall-heavy logs. Containers use
+// it to pre-size their buffers without a trial encode.
+func (l *InputLog) SizeHint() int {
+	n := len(l.Records) * 24
+	for i := range l.Records {
+		n += len(l.Records[i].Data)
+	}
+	return n
+}
+
+func appendRecord(a *wire.Appender, r Record) {
+	a.Byte(byte(r.Kind))
+	a.Int(r.Thread)
+	a.Int(r.Seq)
+	a.Uvarint(r.TS)
 	switch r.Kind {
 	case KindSyscall:
-		dst = binary.AppendUvarint(dst, r.Sysno)
-		dst = binary.AppendUvarint(dst, r.Ret)
-		dst = binary.AppendUvarint(dst, r.Addr)
-		dst = binary.AppendUvarint(dst, uint64(len(r.Data)))
-		dst = append(dst, r.Data...)
+		a.Uvarint(r.Sysno)
+		a.Uvarint(r.Ret)
+		a.Uvarint(r.Addr)
+		a.Blob(r.Data)
 	case KindSignal:
-		dst = binary.AppendUvarint(dst, r.Signo)
-		dst = binary.AppendUvarint(dst, r.Retired)
-		dst = binary.AppendUvarint(dst, r.RepDone)
+		a.Uvarint(r.Signo)
+		a.Uvarint(r.Retired)
+		a.Uvarint(r.RepDone)
 	default:
 		panic(fmt.Sprintf("capo: marshalling record of unknown kind %d", r.Kind))
 	}
-	return dst
 }
 
 // ErrCorruptInput reports a malformed input log. Failures additionally
@@ -170,21 +187,37 @@ var (
 	errInputCorrupt   = fmt.Errorf("%w: %w", ErrCorruptInput, chunk.ErrCorrupt)
 )
 
-type inputReader struct {
-	data []byte
-	pos  int
+// inputDecoder is a flavored cursor plus a data arena: syscall Data
+// payloads are copied into one shared backing array instead of one
+// allocation per record, which is the dominant cost of decoding
+// IO-heavy logs. Each Data slice is three-index capped so an append on
+// one record can never bleed into its neighbor.
+type inputDecoder struct {
+	c     wire.Cursor
+	arena []byte
 }
 
-func (rd *inputReader) uvarint() (uint64, error) {
-	v, n := binary.Uvarint(rd.data[rd.pos:])
-	if n == 0 {
-		return 0, errInputTruncated
+func newInputDecoder(data []byte) inputDecoder {
+	return inputDecoder{c: wire.CursorWith(data, errInputTruncated, errInputCorrupt)}
+}
+
+func (d *inputDecoder) dataCopy(n uint64) ([]byte, error) {
+	// Compare as uint64: a huge length must not overflow int.
+	if n > uint64(d.c.Remaining()) {
+		return nil, fmt.Errorf("%w: data length %d overruns buffer", errInputTruncated, n)
 	}
-	if n < 0 {
-		return 0, fmt.Errorf("%w: varint overflow", errInputCorrupt)
+	raw, err := d.c.Raw(int(n))
+	if err != nil {
+		return nil, err
 	}
-	rd.pos += n
-	return v, nil
+	if cap(d.arena)-len(d.arena) < int(n) {
+		// Remaining input (plus this payload) bounds the data bytes still
+		// to come, so the arena is allocated at most twice per log.
+		d.arena = make([]byte, 0, int(n)+d.c.Remaining())
+	}
+	start := len(d.arena)
+	d.arena = append(d.arena, raw...)
+	return d.arena[start : start+int(n) : start+int(n)], nil
 }
 
 // UnmarshalInputLog parses a serialized input log. Every failure wraps
@@ -200,27 +233,28 @@ func UnmarshalInputLog(data []byte) (*InputLog, error) {
 	if data[4] != inputVersion {
 		return nil, fmt.Errorf("%w: unsupported version %d", errInputCorrupt, data[4])
 	}
-	rd := &inputReader{data: data, pos: 5}
-	count, err := rd.uvarint()
+	rd := newInputDecoder(data)
+	rd.c.Skip(5)
+	count, err := rd.c.Uvarint()
 	if err != nil {
 		return nil, err
 	}
 	// Cap the pre-allocation: count is untrusted; remaining bytes bound
 	// the real record count.
 	capHint := count
-	if max := uint64(len(data) - rd.pos); capHint > max {
+	if max := uint64(rd.c.Remaining()); capHint > max {
 		capHint = max
 	}
 	l := &InputLog{Records: make([]Record, 0, capHint)}
 	for i := uint64(0); i < count; i++ {
-		r, err := readRecord(rd)
+		r, err := rd.readRecord()
 		if err != nil {
 			return nil, fmt.Errorf("record %d: %w", i, err)
 		}
 		l.Records = append(l.Records, r)
 	}
-	if rd.pos != len(data) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", errInputCorrupt, len(data)-rd.pos)
+	if err := rd.c.Done(); err != nil {
+		return nil, err
 	}
 	return l, nil
 }
@@ -229,91 +263,96 @@ func UnmarshalInputLog(data []byte) (*InputLog, error) {
 // records, no log header) — the payload format segment streams use for
 // input batches.
 func MarshalRecords(recs []Record) []byte {
-	out := binary.AppendUvarint(make([]byte, 0, 16+len(recs)*24), uint64(len(recs)))
+	var a wire.Appender
+	AppendRecords(&a, recs)
+	return a.Buf
+}
+
+// AppendRecords is MarshalRecords onto an existing appender, used by
+// the streaming flush path with a pooled buffer.
+func AppendRecords(a *wire.Appender, recs []Record) {
+	a.Grow(16 + len(recs)*24)
+	a.Int(len(recs))
 	for _, r := range recs {
-		out = appendRecord(out, r)
+		appendRecord(a, r)
 	}
-	return out
 }
 
 // UnmarshalRecords parses a bare record sequence written by
 // MarshalRecords, requiring every byte to be consumed. Failures wrap the
 // same sentinels as UnmarshalInputLog.
 func UnmarshalRecords(data []byte) ([]Record, error) {
-	rd := &inputReader{data: data}
-	count, err := rd.uvarint()
+	rd := newInputDecoder(data)
+	count, err := rd.c.Uvarint()
 	if err != nil {
 		return nil, err
 	}
 	capHint := count
-	if max := uint64(len(data) - rd.pos); capHint > max {
+	if max := uint64(rd.c.Remaining()); capHint > max {
 		capHint = max
 	}
 	recs := make([]Record, 0, capHint)
 	for i := uint64(0); i < count; i++ {
-		r, err := readRecord(rd)
+		r, err := rd.readRecord()
 		if err != nil {
 			return nil, fmt.Errorf("record %d: %w", i, err)
 		}
 		recs = append(recs, r)
 	}
-	if rd.pos != len(data) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", errInputCorrupt, len(data)-rd.pos)
+	if err := rd.c.Done(); err != nil {
+		return nil, err
 	}
 	return recs, nil
 }
 
-func readRecord(rd *inputReader) (Record, error) {
+func (rd *inputDecoder) readRecord() (Record, error) {
 	var r Record
-	if rd.pos >= len(rd.data) {
-		return r, errInputTruncated
-	}
-	r.Kind = RecordKind(rd.data[rd.pos])
-	rd.pos++
-	thread, err := rd.uvarint()
+	kind, err := rd.c.Byte()
 	if err != nil {
 		return r, err
 	}
-	seq, err := rd.uvarint()
+	r.Kind = RecordKind(kind)
+	thread, err := rd.c.Uvarint()
 	if err != nil {
 		return r, err
 	}
-	ts, err := rd.uvarint()
+	seq, err := rd.c.Uvarint()
+	if err != nil {
+		return r, err
+	}
+	ts, err := rd.c.Uvarint()
 	if err != nil {
 		return r, err
 	}
 	r.Thread, r.Seq, r.TS = int(thread), int(seq), ts
 	switch r.Kind {
 	case KindSyscall:
-		if r.Sysno, err = rd.uvarint(); err != nil {
+		if r.Sysno, err = rd.c.Uvarint(); err != nil {
 			return r, err
 		}
-		if r.Ret, err = rd.uvarint(); err != nil {
+		if r.Ret, err = rd.c.Uvarint(); err != nil {
 			return r, err
 		}
-		if r.Addr, err = rd.uvarint(); err != nil {
+		if r.Addr, err = rd.c.Uvarint(); err != nil {
 			return r, err
 		}
-		n, err := rd.uvarint()
+		n, err := rd.c.Uvarint()
 		if err != nil {
 			return r, err
 		}
-		// Compare as uint64: a huge length must not overflow int.
-		if n > uint64(len(rd.data)-rd.pos) {
-			return r, fmt.Errorf("%w: data length %d overruns buffer", errInputTruncated, n)
-		}
 		if n > 0 {
-			r.Data = append([]byte(nil), rd.data[rd.pos:rd.pos+int(n)]...)
-			rd.pos += int(n)
+			if r.Data, err = rd.dataCopy(n); err != nil {
+				return r, err
+			}
 		}
 	case KindSignal:
-		if r.Signo, err = rd.uvarint(); err != nil {
+		if r.Signo, err = rd.c.Uvarint(); err != nil {
 			return r, err
 		}
-		if r.Retired, err = rd.uvarint(); err != nil {
+		if r.Retired, err = rd.c.Uvarint(); err != nil {
 			return r, err
 		}
-		if r.RepDone, err = rd.uvarint(); err != nil {
+		if r.RepDone, err = rd.c.Uvarint(); err != nil {
 			return r, err
 		}
 	default:

@@ -12,9 +12,9 @@
 package chunk
 
 import (
-	"encoding/binary"
-	"errors"
 	"fmt"
+
+	"repro/internal/wire"
 )
 
 // Reason codes why the hardware terminated a chunk.
@@ -111,15 +111,15 @@ const (
 	DeltaID byte = 3
 )
 
-// ErrTruncated reports a log that ends mid-entry. It is the shared
-// truncation sentinel for every log decoder in the system (chunk logs,
-// input logs, segment streams), so triage tooling can classify
-// truncation faults uniformly with errors.Is.
-var ErrTruncated = errors.New("truncated log")
+// ErrTruncated reports a log that ends mid-entry. It aliases the wire
+// layer's shared truncation sentinel, kept re-exported here because
+// every decoder in the system predates the wire package and triages
+// against the chunk-package names.
+var ErrTruncated = wire.ErrTruncated
 
 // ErrCorrupt reports a log that fails structural validation. Like
-// ErrTruncated it is shared across all log decoders.
-var ErrCorrupt = errors.New("corrupt log")
+// ErrTruncated it aliases the shared wire sentinel.
+var ErrCorrupt = wire.ErrCorrupt
 
 // ByID returns the encoding registered under id.
 func ByID(id byte) (Encoding, error) {
@@ -163,19 +163,23 @@ func (Fixed) Append(dst []byte, e Entry, _ *Entry) []byte {
 	if e.RepResidue > max24 {
 		panic(fmt.Sprintf("chunk: REP residue %d exceeds 24-bit field", e.RepResidue))
 	}
-	var buf [fixedEntrySize]byte
-	binary.LittleEndian.PutUint64(buf[0:8], e.Size|uint64(e.Reason)<<48|(e.RepResidue&0xff)<<56)
-	binary.LittleEndian.PutUint64(buf[8:16], e.TS|(e.RepResidue>>8)<<48)
-	return append(dst, buf[:]...)
+	a := wire.AppenderOf(dst)
+	a.U64(e.Size | uint64(e.Reason)<<48 | (e.RepResidue&0xff)<<56)
+	a.U64(e.TS | (e.RepResidue>>8)<<48)
+	return a.Buf
 }
 
 // Decode implements Encoding.
 func (Fixed) Decode(src []byte, _ *Entry) (Entry, int, error) {
-	if len(src) < fixedEntrySize {
-		return Entry{}, 0, ErrTruncated
+	c := wire.CursorOf(src)
+	lo, err := c.U64()
+	if err != nil {
+		return Entry{}, 0, err
 	}
-	lo := binary.LittleEndian.Uint64(src[0:8])
-	hi := binary.LittleEndian.Uint64(src[8:16])
+	hi, err := c.U64()
+	if err != nil {
+		return Entry{}, 0, err
+	}
 	e := Entry{
 		Size:       lo & max48,
 		Reason:     Reason(lo >> 48 & 0xff),
@@ -206,42 +210,39 @@ func (Var) Append(dst []byte, e Entry, _ *Entry) []byte {
 	if e.RepResidue != 0 {
 		flags |= repFlag
 	}
-	dst = append(dst, flags)
-	dst = binary.AppendUvarint(dst, e.Size)
-	dst = binary.AppendUvarint(dst, e.TS)
+	a := wire.AppenderOf(dst)
+	a.Byte(flags)
+	a.Uvarint(e.Size)
+	a.Uvarint(e.TS)
 	if e.RepResidue != 0 {
-		dst = binary.AppendUvarint(dst, e.RepResidue)
+		a.Uvarint(e.RepResidue)
 	}
-	return dst
+	return a.Buf
 }
 
 // Decode implements Encoding.
 func (Var) Decode(src []byte, _ *Entry) (Entry, int, error) {
-	if len(src) < 1 {
-		return Entry{}, 0, ErrTruncated
+	c := wire.CursorOf(src)
+	flags, err := c.Byte()
+	if err != nil {
+		return Entry{}, 0, err
 	}
-	flags := src[0]
 	e := Entry{Reason: Reason(flags &^ repFlag)}
 	if e.Reason >= NumReasons {
 		return Entry{}, 0, fmt.Errorf("%w: reason %d", ErrCorrupt, e.Reason)
 	}
-	n := 1
-	var c int
-	if e.Size, c = binary.Uvarint(src[n:]); c <= 0 {
-		return Entry{}, 0, ErrTruncated
+	if e.Size, err = c.Uvarint(); err != nil {
+		return Entry{}, 0, err
 	}
-	n += c
-	if e.TS, c = binary.Uvarint(src[n:]); c <= 0 {
-		return Entry{}, 0, ErrTruncated
+	if e.TS, err = c.Uvarint(); err != nil {
+		return Entry{}, 0, err
 	}
-	n += c
 	if flags&repFlag != 0 {
-		if e.RepResidue, c = binary.Uvarint(src[n:]); c <= 0 {
-			return Entry{}, 0, ErrTruncated
+		if e.RepResidue, err = c.Uvarint(); err != nil {
+			return Entry{}, 0, err
 		}
-		n += c
 	}
-	return e, n, nil
+	return e, c.Pos(), nil
 }
 
 // Delta is the paper-style compressed format: timestamps within a
@@ -268,13 +269,14 @@ func (Delta) Append(dst []byte, e Entry, prev *Entry) []byte {
 	if e.RepResidue != 0 {
 		flags |= repFlag
 	}
-	dst = append(dst, flags)
-	dst = binary.AppendUvarint(dst, e.Size)
-	dst = binary.AppendUvarint(dst, e.TS-prevTS)
+	a := wire.AppenderOf(dst)
+	a.Byte(flags)
+	a.Uvarint(e.Size)
+	a.Uvarint(e.TS - prevTS)
 	if e.RepResidue != 0 {
-		dst = binary.AppendUvarint(dst, e.RepResidue)
+		a.Uvarint(e.RepResidue)
 	}
-	return dst
+	return a.Buf
 }
 
 // Decode implements Encoding.

@@ -1,8 +1,9 @@
 package chunk
 
 import (
-	"encoding/binary"
 	"fmt"
+
+	"repro/internal/wire"
 )
 
 // Log is one thread's chunk stream plus aggregate accounting. Entries are
@@ -65,65 +66,80 @@ const logVersion = 1
 // Layout: magic[4] version[1] encodingID[1] thread[uvarint]
 // count[uvarint] entries...
 func (l *Log) Marshal(enc Encoding) []byte {
-	out := make([]byte, 0, 16+len(l.Entries)*8)
-	out = append(out, logMagic[:]...)
-	out = append(out, logVersion, enc.ID())
-	out = binary.AppendUvarint(out, uint64(l.Thread))
-	out = binary.AppendUvarint(out, uint64(len(l.Entries)))
+	a := wire.AppenderOf(make([]byte, 0, 16+len(l.Entries)*8))
+	l.AppendMarshal(&a, enc)
+	return a.Buf
+}
+
+// AppendMarshal serializes the log onto a, letting callers that embed
+// chunk logs in a larger container (the bundle) reuse one buffer.
+func (l *Log) AppendMarshal(a *wire.Appender, enc Encoding) {
+	a.Raw(logMagic[:])
+	a.Byte(logVersion)
+	a.Byte(enc.ID())
+	a.Int(l.Thread)
+	a.Int(len(l.Entries))
 	var prev *Entry
 	for i := range l.Entries {
-		out = enc.Append(out, l.Entries[i], prev)
+		a.Buf = enc.Append(a.Buf, l.Entries[i], prev)
 		prev = &l.Entries[i]
 	}
-	return out
 }
 
 // UnmarshalLog parses a serialized chunk log, inferring the encoding from
 // the header.
 func UnmarshalLog(data []byte) (*Log, error) {
+	l := &Log{}
+	if err := UnmarshalLogInto(l, data); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// UnmarshalLogInto parses into an existing Log, letting containers that
+// decode one log per thread (the bundle) lay the Logs out contiguously
+// instead of allocating each separately.
+func UnmarshalLogInto(l *Log, data []byte) error {
 	if len(data) < 6 {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	if [4]byte(data[0:4]) != logMagic {
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	if data[4] != logVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, data[4])
+		return fmt.Errorf("%w: unsupported version %d", ErrCorrupt, data[4])
 	}
 	enc, err := ByID(data[5])
 	if err != nil {
-		return nil, err
+		return err
 	}
-	pos := 6
-	thread, n := binary.Uvarint(data[pos:])
-	if n <= 0 {
-		return nil, ErrTruncated
+	c := wire.CursorOf(data)
+	c.Skip(6)
+	thread, err := c.Uvarint()
+	if err != nil {
+		return err
 	}
-	pos += n
-	count, n := binary.Uvarint(data[pos:])
-	if n <= 0 {
-		return nil, ErrTruncated
+	count, err := c.Uvarint()
+	if err != nil {
+		return err
 	}
-	pos += n
 	// Cap the pre-allocation: count comes from untrusted input and the
 	// remaining bytes bound the real entry count anyway.
 	capHint := count
-	if max := uint64(len(data) - pos); capHint > max {
+	if max := uint64(c.Remaining()); capHint > max {
 		capHint = max
 	}
-	l := &Log{Thread: int(thread), Entries: make([]Entry, 0, capHint)}
+	l.Thread = int(thread)
+	l.Entries = make([]Entry, 0, capHint)
 	var prev *Entry
 	for i := uint64(0); i < count; i++ {
-		e, n, err := enc.Decode(data[pos:], prev)
+		e, n, err := enc.Decode(c.Rest(), prev)
 		if err != nil {
-			return nil, fmt.Errorf("entry %d: %w", i, err)
+			return fmt.Errorf("entry %d: %w", i, err)
 		}
-		pos += n
+		c.Skip(n)
 		l.Entries = append(l.Entries, e)
 		prev = &l.Entries[len(l.Entries)-1]
 	}
-	if pos != len(data) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-pos)
-	}
-	return l, nil
+	return c.Done()
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -9,22 +8,59 @@ import (
 	"repro/internal/chunk"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/wire"
 )
 
 // ErrCorruptBundle reports a malformed serialized bundle.
 var ErrCorruptBundle = errors.New("core: corrupt bundle")
 
+// Decode failures carry both the bundle identity and the shared wire
+// sentinel, so bundle faults triage like every other log fault.
+var (
+	errBundleTruncated = fmt.Errorf("%w: %w", ErrCorruptBundle, wire.ErrTruncated)
+	errBundleCorrupt   = fmt.Errorf("%w: %w", ErrCorruptBundle, wire.ErrCorrupt)
+)
+
 var bundleMagic = [4]byte{'Q', 'R', 'B', 'N'}
 
 const bundleVersion = 2
+
+// sizeHint estimates the marshalled size so the output buffer is
+// allocated once instead of doubling through the nested logs.
+func (b *Bundle) sizeHint() int {
+	n := 256 + len(b.Output)
+	for _, l := range b.ChunkLogs {
+		n += 32 + l.Len()*8
+	}
+	if b.InputLog != nil {
+		n += 64 + b.InputLog.SizeHint()
+	}
+	for _, pairs := range b.SigLogs {
+		for _, p := range pairs {
+			n += 8 + len(p.Read) + len(p.Write)
+		}
+	}
+	if b.Checkpoint != nil {
+		n += checkpointSizeHint(b.Checkpoint)
+	}
+	for _, ck := range b.IntervalCheckpoints {
+		n += 32 + checkpointSizeHint(ck.State)
+	}
+	return n
+}
+
+func checkpointSizeHint(cs *CheckpointState) int {
+	return 64 + int(cs.Mem.Size()) + len(cs.OutputPrefix) +
+		len(cs.Contexts)*(isa.NumRegs+4)*9
+}
 
 // Marshal serializes the bundle (logs, metadata and reference state;
 // RecordStats is runtime-only and not serialized). Chunk logs are stored
 // in the paper-style timestamp-delta encoding.
 func (b *Bundle) Marshal() []byte {
-	out := make([]byte, 0, 4096)
-	out = append(out, bundleMagic[:]...)
-	out = append(out, bundleVersion)
+	a := wire.AppenderOf(make([]byte, 0, b.sizeHint()))
+	a.Raw(bundleMagic[:])
+	a.Byte(bundleVersion)
 	var flags byte
 	if b.CountRepIterations {
 		flags |= 1
@@ -38,12 +74,12 @@ func (b *Bundle) Marshal() []byte {
 	if len(b.IntervalCheckpoints) > 0 {
 		flags |= 8
 	}
-	out = append(out, flags)
-	out = appendString(out, b.ProgramName)
-	out = binary.AppendUvarint(out, uint64(b.Threads))
-	out = binary.AppendUvarint(out, b.StackWordsPerThread)
-	out = binary.AppendUvarint(out, b.MemChecksum)
-	out = appendBytes(out, b.Output)
+	a.Byte(flags)
+	a.String(b.ProgramName)
+	a.Int(b.Threads)
+	a.Uvarint(b.StackWordsPerThread)
+	a.Uvarint(b.MemChecksum)
+	a.Blob(b.Output)
 	// Always emit Threads entries: a Partial bundle has no reference
 	// final state, so pad with zero values the reader can skip past.
 	for t := 0; t < b.Threads; t++ {
@@ -51,19 +87,27 @@ func (b *Bundle) Marshal() []byte {
 		if t < len(b.RetiredPerThread) {
 			r = b.RetiredPerThread[t]
 		}
-		out = binary.AppendUvarint(out, r)
+		a.Uvarint(r)
 	}
 	for t := 0; t < b.Threads; t++ {
 		var ctx isa.Context
 		if t < len(b.FinalContexts) {
 			ctx = b.FinalContexts[t]
 		}
-		out = appendContext(out, ctx)
+		appendContext(&a, ctx)
 	}
+	// Nested logs are built in one pooled scratch buffer, then blobbed
+	// into the output with their length prefix.
+	scratch := wire.GetAppender()
 	for _, l := range b.ChunkLogs {
-		out = appendBytes(out, l.Marshal(chunk.Delta{}))
+		scratch.Reset()
+		l.AppendMarshal(scratch, chunk.Delta{})
+		a.Blob(scratch.Buf)
 	}
-	out = appendBytes(out, b.InputLog.Marshal())
+	scratch.Reset()
+	b.InputLog.AppendMarshal(scratch)
+	a.Blob(scratch.Buf)
+	wire.PutAppender(scratch)
 	if b.SigLogs != nil {
 		// One signature log per thread, parallel to the chunk logs; each
 		// pair is the chunk's serialized read then write filter.
@@ -72,75 +116,64 @@ func (b *Bundle) Marshal() []byte {
 			if t < len(b.SigLogs) {
 				pairs = b.SigLogs[t]
 			}
-			out = binary.AppendUvarint(out, uint64(len(pairs)))
+			a.Int(len(pairs))
 			for _, p := range pairs {
-				out = appendBytes(out, p.Read)
-				out = appendBytes(out, p.Write)
+				a.Blob(p.Read)
+				a.Blob(p.Write)
 			}
 		}
 	}
 	if b.Checkpoint == nil {
-		out = append(out, 0)
+		a.Byte(0)
 	} else {
-		out = append(out, 1)
-		out = appendCheckpoint(out, b.Checkpoint)
+		a.Byte(1)
+		appendCheckpoint(&a, b.Checkpoint)
 	}
 	if len(b.IntervalCheckpoints) > 0 {
-		out = binary.AppendUvarint(out, uint64(len(b.IntervalCheckpoints)))
+		a.Int(len(b.IntervalCheckpoints))
 		for _, ck := range b.IntervalCheckpoints {
-			out = appendCheckpoint(out, ck.State)
+			appendCheckpoint(&a, ck.State)
 			for t := 0; t < b.Threads; t++ {
 				var p int
 				if t < len(ck.ChunkPos) {
 					p = ck.ChunkPos[t]
 				}
-				out = binary.AppendUvarint(out, uint64(p))
+				a.Int(p)
 			}
-			out = binary.AppendUvarint(out, uint64(ck.InputPos))
-			out = binary.AppendUvarint(out, ck.RetiredAt)
+			a.Int(ck.InputPos)
+			a.Uvarint(ck.RetiredAt)
 		}
 	}
-	return out
+	return a.Buf
 }
 
-func appendCheckpoint(out []byte, cs *CheckpointState) []byte {
+func appendCheckpoint(a *wire.Appender, cs *CheckpointState) {
 	size := cs.Mem.Size()
-	out = binary.AppendUvarint(out, size)
-	out = append(out, cs.Mem.LoadBytes(0, size)...)
+	a.Uvarint(size)
+	a.Raw(cs.Mem.LoadBytes(0, size))
 	for t := range cs.Contexts {
-		out = appendContext(out, cs.Contexts[t])
+		appendContext(a, cs.Contexts[t])
 		var flags byte
 		if cs.Exited[t] {
 			flags = 1
 		}
-		out = append(out, flags)
+		a.Byte(flags)
 		for _, r := range cs.SigRegs[t] {
-			out = binary.AppendUvarint(out, r)
+			a.Uvarint(r)
 		}
-		out = binary.AppendUvarint(out, uint64(cs.SigPC[t]))
+		a.Int(cs.SigPC[t])
 	}
-	out = binary.AppendUvarint(out, uint64(cs.HandlerPC))
-	if cs.HandlerOK {
-		out = append(out, 1)
-	} else {
-		out = append(out, 0)
-	}
-	return appendBytes(out, cs.OutputPrefix)
+	a.Int(cs.HandlerPC)
+	a.Bool(cs.HandlerOK)
+	a.Blob(cs.OutputPrefix)
 }
 
-func appendString(dst []byte, s string) []byte { return appendBytes(dst, []byte(s)) }
-
-func appendBytes(dst, p []byte) []byte {
-	dst = binary.AppendUvarint(dst, uint64(len(p)))
-	return append(dst, p...)
-}
-
-func appendContext(dst []byte, ctx isa.Context) []byte {
+func appendContext(a *wire.Appender, ctx isa.Context) {
 	for _, r := range ctx.Regs {
-		dst = binary.AppendUvarint(dst, r)
+		a.Uvarint(r)
 	}
-	dst = binary.AppendUvarint(dst, uint64(ctx.PC))
-	dst = binary.AppendUvarint(dst, ctx.Retired)
+	a.Int(ctx.PC)
+	a.Uvarint(ctx.Retired)
 	var flags byte
 	if ctx.Halted {
 		flags |= 1
@@ -148,64 +181,34 @@ func appendContext(dst []byte, ctx isa.Context) []byte {
 	if ctx.RepActive {
 		flags |= 2
 	}
-	dst = append(dst, flags)
-	dst = binary.AppendUvarint(dst, ctx.RepDone)
-	return dst
+	a.Byte(flags)
+	a.Uvarint(ctx.RepDone)
 }
 
-type bundleReader struct {
-	data []byte
-	pos  int
-}
-
-func (r *bundleReader) uvarint() (uint64, error) {
-	v, n := binary.Uvarint(r.data[r.pos:])
-	if n <= 0 {
-		return 0, ErrCorruptBundle
-	}
-	r.pos += n
-	return v, nil
-}
-
-func (r *bundleReader) bytes() ([]byte, error) {
-	n, err := r.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	// Compare as uint64: a huge length must not overflow int.
-	if n > uint64(len(r.data)-r.pos) {
-		return nil, ErrCorruptBundle
-	}
-	out := append([]byte(nil), r.data[r.pos:r.pos+int(n)]...)
-	r.pos += int(n)
-	return out, nil
-}
-
-func (r *bundleReader) context() (isa.Context, error) {
+func readContext(c *wire.Cursor) (isa.Context, error) {
 	var ctx isa.Context
 	for i := range ctx.Regs {
-		v, err := r.uvarint()
+		v, err := c.Uvarint()
 		if err != nil {
 			return ctx, err
 		}
 		ctx.Regs[i] = v
 	}
-	pc, err := r.uvarint()
+	pc, err := c.Uvarint()
 	if err != nil {
 		return ctx, err
 	}
 	ctx.PC = int(pc)
-	if ctx.Retired, err = r.uvarint(); err != nil {
+	if ctx.Retired, err = c.Uvarint(); err != nil {
 		return ctx, err
 	}
-	if r.pos >= len(r.data) {
-		return ctx, ErrCorruptBundle
+	flags, err := c.Byte()
+	if err != nil {
+		return ctx, err
 	}
-	flags := r.data[r.pos]
-	r.pos++
 	ctx.Halted = flags&1 != 0
 	ctx.RepActive = flags&2 != 0
-	if ctx.RepDone, err = r.uvarint(); err != nil {
+	if ctx.RepDone, err = c.Uvarint(); err != nil {
 		return ctx, err
 	}
 	return ctx, nil
@@ -220,7 +223,7 @@ func UnmarshalBundle(data []byte) (*Bundle, error) {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptBundle, data[4])
 	}
 	if len(data) < 6 {
-		return nil, ErrCorruptBundle
+		return nil, errBundleTruncated
 	}
 	if data[5] > 15 {
 		return nil, fmt.Errorf("%w: unknown flags %#x", ErrCorruptBundle, data[5])
@@ -229,12 +232,13 @@ func UnmarshalBundle(data []byte) (*Bundle, error) {
 	partial := data[5]&2 != 0
 	hasSigs := data[5]&4 != 0
 	hasIvals := data[5]&8 != 0
-	r := &bundleReader{data: data, pos: 6}
-	name, err := r.bytes()
+	c := wire.CursorWith(data, errBundleTruncated, errBundleCorrupt)
+	c.Skip(6)
+	name, err := c.View()
 	if err != nil {
 		return nil, err
 	}
-	threads, err := r.uvarint()
+	threads, err := c.Uvarint()
 	if err != nil {
 		return nil, err
 	}
@@ -242,41 +246,47 @@ func UnmarshalBundle(data []byte) (*Bundle, error) {
 		return nil, fmt.Errorf("%w: implausible thread count %d", ErrCorruptBundle, threads)
 	}
 	b := &Bundle{ProgramName: string(name), Threads: int(threads), CountRepIterations: countReps, Partial: partial}
-	if b.StackWordsPerThread, err = r.uvarint(); err != nil {
+	if b.StackWordsPerThread, err = c.Uvarint(); err != nil {
 		return nil, err
 	}
-	if b.MemChecksum, err = r.uvarint(); err != nil {
+	if b.MemChecksum, err = c.Uvarint(); err != nil {
 		return nil, err
 	}
-	if b.Output, err = r.bytes(); err != nil {
+	if b.Output, err = c.Blob(); err != nil {
 		return nil, err
 	}
+	b.RetiredPerThread = make([]uint64, 0, b.Threads)
 	for t := 0; t < b.Threads; t++ {
-		v, err := r.uvarint()
+		v, err := c.Uvarint()
 		if err != nil {
 			return nil, err
 		}
 		b.RetiredPerThread = append(b.RetiredPerThread, v)
 	}
+	b.FinalContexts = make([]isa.Context, 0, b.Threads)
 	for t := 0; t < b.Threads; t++ {
-		ctx, err := r.context()
+		ctx, err := readContext(&c)
 		if err != nil {
 			return nil, err
 		}
 		b.FinalContexts = append(b.FinalContexts, ctx)
 	}
+	// One contiguous array for all threads' Logs, pointered into place.
+	logs := make([]chunk.Log, b.Threads)
+	b.ChunkLogs = make([]*chunk.Log, 0, b.Threads)
 	for t := 0; t < b.Threads; t++ {
-		raw, err := r.bytes()
+		// View, not Blob: UnmarshalLogInto copies entries out and retains
+		// nothing of the raw bytes.
+		raw, err := c.View()
 		if err != nil {
 			return nil, err
 		}
-		l, err := chunk.UnmarshalLog(raw)
-		if err != nil {
+		if err := chunk.UnmarshalLogInto(&logs[t], raw); err != nil {
 			return nil, fmt.Errorf("chunk log %d: %w", t, err)
 		}
-		b.ChunkLogs = append(b.ChunkLogs, l)
+		b.ChunkLogs = append(b.ChunkLogs, &logs[t])
 	}
-	raw, err := r.bytes()
+	raw, err := c.View()
 	if err != nil {
 		return nil, err
 	}
@@ -286,7 +296,7 @@ func UnmarshalBundle(data []byte) (*Bundle, error) {
 	if hasSigs {
 		b.SigLogs = make([][]capo.SigPair, b.Threads)
 		for t := 0; t < b.Threads; t++ {
-			n, err := r.uvarint()
+			n, err := c.Uvarint()
 			if err != nil {
 				return nil, err
 			}
@@ -299,45 +309,44 @@ func UnmarshalBundle(data []byte) (*Bundle, error) {
 			}
 			for i := uint64(0); i < n; i++ {
 				var p capo.SigPair
-				if p.Read, err = r.bytes(); err != nil {
+				if p.Read, err = c.Blob(); err != nil {
 					return nil, err
 				}
-				if p.Write, err = r.bytes(); err != nil {
+				if p.Write, err = c.Blob(); err != nil {
 					return nil, err
 				}
 				b.SigLogs[t] = append(b.SigLogs[t], p)
 			}
 		}
 	}
-	if r.pos >= len(data) {
+	hasCkpt, err := c.Byte()
+	if err != nil {
 		return nil, fmt.Errorf("%w: missing checkpoint flag", ErrCorruptBundle)
 	}
-	hasCkpt := data[r.pos]
-	r.pos++
 	if hasCkpt == 1 {
-		if b.Checkpoint, err = readCheckpoint(r, b.Threads); err != nil {
+		if b.Checkpoint, err = readCheckpoint(&c, b.Threads); err != nil {
 			return nil, err
 		}
 	} else if hasCkpt != 0 {
 		return nil, fmt.Errorf("%w: bad checkpoint flag %d", ErrCorruptBundle, hasCkpt)
 	}
 	if hasIvals {
-		n, err := r.uvarint()
+		n, err := c.Uvarint()
 		if err != nil {
 			return nil, err
 		}
 		// Each interval checkpoint embeds a memory image, so the count is
 		// bounded by the remaining bytes; reject absurd values early.
-		if n == 0 || n > uint64(len(data)-r.pos) {
+		if n == 0 || n > uint64(c.Remaining()) {
 			return nil, fmt.Errorf("%w: implausible interval checkpoint count %d", ErrCorruptBundle, n)
 		}
 		for i := uint64(0); i < n; i++ {
 			ck := &IntervalCheckpoint{}
-			if ck.State, err = readCheckpoint(r, b.Threads); err != nil {
+			if ck.State, err = readCheckpoint(&c, b.Threads); err != nil {
 				return nil, err
 			}
 			for t := 0; t < b.Threads; t++ {
-				p, err := r.uvarint()
+				p, err := c.Uvarint()
 				if err != nil {
 					return nil, err
 				}
@@ -347,7 +356,7 @@ func UnmarshalBundle(data []byte) (*Bundle, error) {
 				}
 				ck.ChunkPos = append(ck.ChunkPos, int(p))
 			}
-			p, err := r.uvarint()
+			p, err := c.Uvarint()
 			if err != nil {
 				return nil, err
 			}
@@ -356,64 +365,71 @@ func UnmarshalBundle(data []byte) (*Bundle, error) {
 					ErrCorruptBundle, i, p, b.InputLog.Len())
 			}
 			ck.InputPos = int(p)
-			if ck.RetiredAt, err = r.uvarint(); err != nil {
+			if ck.RetiredAt, err = c.Uvarint(); err != nil {
 				return nil, err
 			}
 			b.IntervalCheckpoints = append(b.IntervalCheckpoints, ck)
 		}
 	}
-	if r.pos != len(data) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptBundle, len(data)-r.pos)
+	if err := c.Done(); err != nil {
+		return nil, err
 	}
 	return b, nil
 }
 
-func readCheckpoint(r *bundleReader, threads int) (*CheckpointState, error) {
-	size, err := r.uvarint()
+func readCheckpoint(c *wire.Cursor, threads int) (*CheckpointState, error) {
+	size, err := c.Uvarint()
 	if err != nil {
 		return nil, err
 	}
-	if size > 1<<32 || r.pos+int(size) > len(r.data) {
+	if size > 1<<32 || size > uint64(c.Remaining()) {
 		return nil, fmt.Errorf("%w: implausible checkpoint memory size %d", ErrCorruptBundle, size)
 	}
+	img, err := c.Raw(int(size))
+	if err != nil {
+		return nil, err
+	}
 	cs := &CheckpointState{Mem: mem.New(size)}
-	cs.Mem.StoreBytes(0, r.data[r.pos:r.pos+int(size)])
-	r.pos += int(size)
+	cs.Mem.StoreBytes(0, img)
+	cs.Contexts = make([]isa.Context, 0, threads)
+	cs.Exited = make([]bool, 0, threads)
+	cs.SigRegs = make([][isa.NumRegs]uint64, 0, threads)
+	cs.SigPC = make([]int, 0, threads)
 	for t := 0; t < threads; t++ {
-		ctx, err := r.context()
+		ctx, err := readContext(c)
 		if err != nil {
 			return nil, err
 		}
 		cs.Contexts = append(cs.Contexts, ctx)
-		if r.pos >= len(r.data) {
-			return nil, ErrCorruptBundle
+		flags, err := c.Byte()
+		if err != nil {
+			return nil, err
 		}
-		cs.Exited = append(cs.Exited, r.data[r.pos]&1 != 0)
-		r.pos++
+		cs.Exited = append(cs.Exited, flags&1 != 0)
 		var regs [isa.NumRegs]uint64
 		for i := range regs {
-			if regs[i], err = r.uvarint(); err != nil {
+			if regs[i], err = c.Uvarint(); err != nil {
 				return nil, err
 			}
 		}
 		cs.SigRegs = append(cs.SigRegs, regs)
-		pc, err := r.uvarint()
+		pc, err := c.Uvarint()
 		if err != nil {
 			return nil, err
 		}
 		cs.SigPC = append(cs.SigPC, int(pc))
 	}
-	hpc, err := r.uvarint()
+	hpc, err := c.Uvarint()
 	if err != nil {
 		return nil, err
 	}
 	cs.HandlerPC = int(hpc)
-	if r.pos >= len(r.data) {
-		return nil, ErrCorruptBundle
+	ok, err := c.Byte()
+	if err != nil {
+		return nil, err
 	}
-	cs.HandlerOK = r.data[r.pos] == 1
-	r.pos++
-	if cs.OutputPrefix, err = r.bytes(); err != nil {
+	cs.HandlerOK = ok == 1
+	if cs.OutputPrefix, err = c.Blob(); err != nil {
 		return nil, err
 	}
 	return cs, nil

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -12,15 +13,45 @@ import (
 	"repro/internal/workload"
 )
 
-// BenchResult is one workload's measured recording throughput:
+// BenchResult is one workload's measured recording throughput —
 // simulated instructions retired per second of host wall time while
-// recording with full logging enabled.
+// recording with full logging enabled — plus its allocation profile:
+// heap allocations and bytes per measured operation (one recording,
+// screening, replay or codec-round-trip run).
 type BenchResult struct {
 	Workload     string  `json:"workload"`
 	Threads      int     `json:"threads"`
 	Cores        int     `json:"cores"`
 	Instrs       uint64  `json:"instrs_per_run"`
 	InstrsPerSec float64 `json:"instrs_per_sec"`
+	AllocsPerOp  uint64  `json:"allocs_per_op"`
+	BytesPerOp   uint64  `json:"bytes_per_op"`
+}
+
+// BaselineWorkloads is the committed baseline's workload set; the guard
+// measures exactly these. codec:counter times the bundle wire round
+// trip, so the baseline pins the wire layer's allocation profile.
+var BaselineWorkloads = []string{"counter", "ioheavy", "repcopy", "screen:racy", "replay:par", "screen:par", "codec:counter"}
+
+// allocMeter samples the runtime's allocation counters around a measured
+// loop. The harness is library code, so it cannot use testing.B's
+// ReportAllocs; ReadMemStats deltas give the same Mallocs/TotalAlloc
+// numbers.
+type allocMeter struct{ before runtime.MemStats }
+
+func (m *allocMeter) start() {
+	runtime.GC()
+	runtime.ReadMemStats(&m.before)
+}
+
+func (m *allocMeter) stop(res *BenchResult, ops int) {
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if ops < 1 {
+		ops = 1
+	}
+	res.AllocsPerOp = (after.Mallocs - m.before.Mallocs) / uint64(ops)
+	res.BytesPerOp = (after.TotalAlloc - m.before.TotalAlloc) / uint64(ops)
 }
 
 // Baseline is the committed reference point the regression guard
@@ -44,6 +75,8 @@ func MeasureRecordThroughput(name string, threads, cores, runs int) (*BenchResul
 		runs = 1
 	}
 	res := &BenchResult{Workload: name, Threads: threads, Cores: cores}
+	var meter allocMeter
+	meter.start()
 	for i := 0; i < runs; i++ {
 		start := time.Now()
 		rec, err := core.Record(prog, cfg)
@@ -60,6 +93,7 @@ func MeasureRecordThroughput(name string, threads, cores, runs int) (*BenchResul
 			res.InstrsPerSec = tput
 		}
 	}
+	meter.stop(res, runs)
 	return res, nil
 }
 
@@ -93,6 +127,8 @@ func MeasureScreenThroughput(name string, threads, cores, workers, runs int) (*B
 		label = "screen:par"
 	}
 	res := &BenchResult{Workload: label, Threads: threads, Cores: cores, Instrs: instrs}
+	var meter allocMeter
+	meter.start()
 	for i := 0; i < runs; i++ {
 		start := time.Now()
 		if _, err := races.ScreenWorkers(rec, workers); err != nil {
@@ -102,6 +138,7 @@ func MeasureScreenThroughput(name string, threads, cores, workers, runs int) (*B
 			res.InstrsPerSec = tput
 		}
 	}
+	meter.stop(res, runs)
 	return res, nil
 }
 
@@ -139,6 +176,8 @@ func MeasureReplayThroughput(threads, cores, workers, runs int) (*BenchResult, e
 		label = "replay:par"
 	}
 	res := &BenchResult{Workload: label, Threads: threads, Cores: cores, Instrs: instrs}
+	var meter allocMeter
+	meter.start()
 	for i := 0; i < runs; i++ {
 		start := time.Now()
 		if _, err := core.ReplayWorkers(prog, rec, workers); err != nil {
@@ -148,6 +187,46 @@ func MeasureReplayThroughput(threads, cores, workers, runs int) (*BenchResult, e
 			res.InstrsPerSec = tput
 		}
 	}
+	meter.stop(res, runs)
+	return res, nil
+}
+
+// MeasureCodecThroughput records the named workload once, then times
+// runs full bundle serialization round trips (Marshal plus
+// UnmarshalBundle). Instrs is the recorded instruction count, so
+// throughput reads as recorded instructions re-coded per second; the
+// allocation columns are the wire layer's scoreboard.
+func MeasureCodecThroughput(name string, threads, cores, runs int) (*BenchResult, error) {
+	prog, err := buildProgram(name, threads)
+	if err != nil {
+		return nil, err
+	}
+	cfg := recordConfig(cores, threads, 1)
+	rec, err := core.Record(prog, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("harness: bench recording of %s failed: %w", name, err)
+	}
+	var instrs uint64
+	for _, r := range rec.RetiredPerThread {
+		instrs += r
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	res := &BenchResult{Workload: "codec:" + name, Threads: threads, Cores: cores, Instrs: instrs}
+	var meter allocMeter
+	meter.start()
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		data := rec.Marshal()
+		if _, err := core.UnmarshalBundle(data); err != nil {
+			return nil, fmt.Errorf("harness: bench codec round trip of %s failed: %w", name, err)
+		}
+		if tput := float64(instrs) / time.Since(start).Seconds(); tput > res.InstrsPerSec {
+			res.InstrsPerSec = tput
+		}
+	}
+	meter.stop(res, runs)
 	return res, nil
 }
 
@@ -166,6 +245,9 @@ func measureWorkload(name string, threads, cores, runs int) (*BenchResult, error
 	if rest, ok := strings.CutPrefix(name, "screen:"); ok {
 		return MeasureScreenThroughput(rest, threads, cores, 0, runs)
 	}
+	if rest, ok := strings.CutPrefix(name, "codec:"); ok {
+		return MeasureCodecThroughput(rest, threads, cores, runs)
+	}
 	return MeasureRecordThroughput(name, threads, cores, runs)
 }
 
@@ -173,7 +255,7 @@ func measureWorkload(name string, threads, cores, runs int) (*BenchResult, error
 // file the regression guard reads.
 func WriteBaseline(path string, workloads []string, threads, cores, runs int) (*Baseline, error) {
 	b := &Baseline{
-		Note: fmt.Sprintf("best of %d record runs per workload, %d threads on %d cores; regenerate with QUICKREC_WRITE_BASELINE=1 go test ./internal/harness/ -run TestWriteBenchBaseline", runs, threads, cores),
+		Note: fmt.Sprintf("best of %d record runs per workload, %d threads on %d cores; regenerate with QUICKREC_WRITE_BASELINE=1 go test ./internal/harness/ -run TestWriteBenchBaseline, or quickbench -baseline", runs, threads, cores),
 	}
 	for _, w := range workloads {
 		r, err := measureWorkload(w, threads, cores, runs)
@@ -203,12 +285,24 @@ func LoadBaseline(path string) (*Baseline, error) {
 }
 
 // CheckRegression compares a fresh measurement against the baseline and
-// returns an error when throughput fell below (1 - tolerance) of it.
+// returns an error when throughput fell below (1 - tolerance) of it, or
+// when allocations per op more than doubled. The allocation guard is
+// deliberately loose: alloc counts are stable across machines and small
+// drifts are routine, but only a structural regression — a dropped
+// pooling or presizing path — doubles them.
 func CheckRegression(base BenchResult, got *BenchResult, tolerance float64) error {
 	floor := base.InstrsPerSec * (1 - tolerance)
 	if got.InstrsPerSec < floor {
 		return fmt.Errorf("harness: %s throughput regressed: %.0f instrs/s vs baseline %.0f (floor %.0f, tolerance %.0f%%)",
 			base.Workload, got.InstrsPerSec, base.InstrsPerSec, floor, tolerance*100)
+	}
+	if base.AllocsPerOp > 0 && got.AllocsPerOp > 2*base.AllocsPerOp {
+		return fmt.Errorf("harness: %s allocations regressed: %d allocs/op vs baseline %d (ceiling 2x)",
+			base.Workload, got.AllocsPerOp, base.AllocsPerOp)
+	}
+	if base.BytesPerOp > 0 && got.BytesPerOp > 2*base.BytesPerOp {
+		return fmt.Errorf("harness: %s allocated bytes regressed: %d B/op vs baseline %d (ceiling 2x)",
+			base.Workload, got.BytesPerOp, base.BytesPerOp)
 	}
 	return nil
 }

@@ -11,7 +11,7 @@ const (
 	benchTolerance = 0.20
 )
 
-var benchWorkloads = []string{"counter", "ioheavy", "repcopy", "screen:racy", "replay:par", "screen:par"}
+var benchWorkloads = BaselineWorkloads
 
 // BenchmarkRecordThroughput reports recording throughput per workload in
 // simulated instructions per second of host time.
@@ -42,7 +42,8 @@ func TestWriteBenchBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, r := range b.Results {
-		t.Logf("%-10s %6.2f M instrs/s", r.Workload, r.InstrsPerSec/1e6)
+		t.Logf("%-13s %8.2f M instrs/s  %8d allocs/op  %10d B/op",
+			r.Workload, r.InstrsPerSec/1e6, r.AllocsPerOp, r.BytesPerOp)
 	}
 }
 
@@ -69,8 +70,9 @@ func TestRecordThroughputRegression(t *testing.T) {
 		if err := CheckRegression(br, got, benchTolerance); err != nil {
 			t.Error(err)
 		} else {
-			t.Logf("%-10s %6.2f M instrs/s (baseline %.2f M)",
-				br.Workload, got.InstrsPerSec/1e6, br.InstrsPerSec/1e6)
+			t.Logf("%-13s %8.2f M instrs/s (baseline %.2f M)  %d allocs/op (baseline %d)",
+				br.Workload, got.InstrsPerSec/1e6, br.InstrsPerSec/1e6,
+				got.AllocsPerOp, br.AllocsPerOp)
 		}
 	}
 }

@@ -31,9 +31,9 @@ func TestRunSmallMatrix(t *testing.T) {
 	if fails := rep.MetaFailures(); len(fails) != 0 {
 		t.Errorf("metamorphic failures: %v", fails)
 	}
-	// Four base properties plus parallel-replay-matches-serial per cell;
+	// Five base properties plus parallel-replay-matches-serial per cell;
 	// neither workload here declares a race expectation.
-	wantMeta := len(cfg.Workloads) * len(cfg.Cores) * 5
+	wantMeta := len(cfg.Workloads) * len(cfg.Cores) * 6
 	if got := len(rep.Meta); got != wantMeta {
 		t.Errorf("metamorphic results: got %d, want %d", got, wantMeta)
 	}

@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"fmt"
 
+	"repro/internal/capo"
+	"repro/internal/chunk"
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/races"
+	"repro/internal/signature"
 	"repro/internal/workload"
 )
 
@@ -26,6 +29,7 @@ const (
 	PropReplayDeterminism    = "replay-twice-is-identical"
 	PropRaceExpectation      = "race-expectation-holds"
 	PropParallelReplay       = "parallel-replay-matches-serial"
+	PropReencodeIdentity     = "reencode-is-identity"
 )
 
 // checkMetamorphic runs the metamorphic properties against prog under
@@ -41,6 +45,11 @@ const (
 //     as one in memory.
 //   - replay-twice-is-identical: replay is itself deterministic, the
 //     property that makes "replay the replay" debugging sound.
+//   - reencode-is-identity: decode followed by re-encode is byte-identical
+//     for the bundle and every nested codec — each chunk log under every
+//     registered encoding, the input log under both framings, and every
+//     captured signature. The per-codec version of serialization closure:
+//     it localizes a wire-format asymmetry to the codec that has it.
 func checkMetamorphic(prog *isa.Program, cfg machine.Config, rec *core.Bundle) []PropertyResult {
 	var out []PropertyResult
 	add := func(prop string, err error) {
@@ -85,6 +94,59 @@ func checkMetamorphic(prog *isa.Program, cfg machine.Config, rec *core.Bundle) [
 			return fmt.Errorf("replay of reloaded recording: %w", err)
 		}
 		return core.Verify(loaded, rr)
+	}())
+
+	add(PropReencodeIdentity, func() error {
+		for _, enc := range []chunk.Encoding{chunk.Fixed{}, chunk.Var{}, chunk.Delta{}} {
+			for t, l := range rec.ChunkLogs {
+				blob := l.Marshal(enc)
+				dec, err := chunk.UnmarshalLog(blob)
+				if err != nil {
+					return fmt.Errorf("chunk log %d (%s): decode: %w", t, enc.Name(), err)
+				}
+				if !bytes.Equal(dec.Marshal(enc), blob) {
+					return fmt.Errorf("chunk log %d (%s): re-encode differs", t, enc.Name())
+				}
+			}
+		}
+		blob := rec.InputLog.Marshal()
+		il, err := capo.UnmarshalInputLog(blob)
+		if err != nil {
+			return fmt.Errorf("input log: decode: %w", err)
+		}
+		if !bytes.Equal(il.Marshal(), blob) {
+			return fmt.Errorf("input log: re-encode differs")
+		}
+		rblob := capo.MarshalRecords(rec.InputLog.Records)
+		recs, err := capo.UnmarshalRecords(rblob)
+		if err != nil {
+			return fmt.Errorf("input records: decode: %w", err)
+		}
+		if !bytes.Equal(capo.MarshalRecords(recs), rblob) {
+			return fmt.Errorf("input records: re-encode differs")
+		}
+		for t, pairs := range rec.SigLogs {
+			for i, p := range pairs {
+				for side, raw := range map[string][]byte{"read": p.Read, "write": p.Write} {
+					s, err := signature.Unmarshal(raw)
+					if err != nil {
+						return fmt.Errorf("thread %d sig %d %s: decode: %w", t, i, side, err)
+					}
+					if !bytes.Equal(s.Marshal(), raw) {
+						return fmt.Errorf("thread %d sig %d %s: re-encode differs", t, i, side)
+					}
+				}
+			}
+		}
+		data := rec.Marshal()
+		loaded, err := core.UnmarshalBundle(data)
+		if err != nil {
+			return fmt.Errorf("bundle: decode: %w", err)
+		}
+		if !bytes.Equal(loaded.Marshal(), data) {
+			return fmt.Errorf("bundle: re-encode differs")
+		}
+		return nil
 	}())
 
 	add(PropReplayDeterminism, func() error {

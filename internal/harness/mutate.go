@@ -1,7 +1,6 @@
 package harness
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"repro/internal/capo"
@@ -9,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/replay"
+	"repro/internal/wire"
 )
 
 // FaultClass names one family of single-fault log corruptions.
@@ -259,26 +259,28 @@ func lieAboutCount(blob []byte, isChunkLog bool, m *mutator) (out []byte, detail
 	pos := 5
 	if isChunkLog {
 		pos = 6
-		_, n := binary.Uvarint(blob[pos:])
-		if n <= 0 {
+		c := wire.CursorOf(blob[pos:])
+		if _, err := c.Uvarint(); err != nil {
 			return nil, "", false
 		}
-		pos += n
+		pos += c.Pos()
 	}
-	count, n := binary.Uvarint(blob[pos:])
-	if n <= 0 {
+	c := wire.CursorOf(blob[pos:])
+	count, err := c.Uvarint()
+	if err != nil {
 		return nil, "", false
 	}
+	n := c.Pos()
 	deltas := []int64{1, 3, -1, 7}
 	d := deltas[m.pick(len(deltas))]
 	lied := int64(count) + d
 	if lied < 0 {
 		lied = 0
 	}
-	out = append(out, blob[:pos]...)
-	out = binary.AppendUvarint(out, uint64(lied))
-	out = append(out, blob[pos+n:]...)
-	return out, fmt.Sprintf("count %d rewritten to %d", count, lied), true
+	a := wire.AppenderOf(append(out, blob[:pos]...))
+	a.Uvarint(uint64(lied))
+	a.Raw(blob[pos+n:])
+	return a.Buf, fmt.Sprintf("count %d rewritten to %d", count, lied), true
 }
 
 // applyStructuralFault corrupts the decoded form of one log.

@@ -1,13 +1,13 @@
 package harness
 
 import (
-	"encoding/binary"
 	"testing"
 
 	"repro/internal/capo"
 	"repro/internal/chunk"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/wire"
 )
 
 // testRecording records a small two-thread workload on one core: enough
@@ -212,14 +212,20 @@ func TestLieAboutCount(t *testing.T) {
 			t.Errorf("empty detail")
 		}
 		// Re-read the count field from the lied blob and compare.
-		pos := 6
-		_, n := binary.Uvarint(blob[pos:])
-		pos += n
-		origCount, _ := binary.Uvarint(blob[pos:])
-		pos = 6
-		_, n = binary.Uvarint(lied[pos:])
-		pos += n
-		liedCount, _ := binary.Uvarint(lied[pos:])
+		readCount := func(b []byte) uint64 {
+			c := wire.CursorOf(b)
+			c.Skip(6)
+			if _, err := c.Uvarint(); err != nil { // thread
+				t.Fatalf("thread uvarint: %v", err)
+			}
+			v, err := c.Uvarint()
+			if err != nil {
+				t.Fatalf("count uvarint: %v", err)
+			}
+			return v
+		}
+		origCount := readCount(blob)
+		liedCount := readCount(lied)
 		if origCount == liedCount {
 			t.Errorf("count unchanged: %d", origCount)
 		}
@@ -231,8 +237,17 @@ func TestLieAboutCount(t *testing.T) {
 		if !ok {
 			t.Fatalf("lieAboutCount not applicable to a real input log")
 		}
-		origCount, _ := binary.Uvarint(blob[5:])
-		liedCount, _ := binary.Uvarint(lied[5:])
+		readCount := func(b []byte) uint64 {
+			c := wire.CursorOf(b)
+			c.Skip(5)
+			v, err := c.Uvarint()
+			if err != nil {
+				t.Fatalf("count uvarint: %v", err)
+			}
+			return v
+		}
+		origCount := readCount(blob)
+		liedCount := readCount(lied)
 		if origCount == liedCount {
 			t.Errorf("count unchanged: %d", origCount)
 		}

@@ -1,10 +1,10 @@
 package segment
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/wire"
 )
 
 // Manifest is the stream's opening segment: everything a reader needs to
@@ -27,18 +27,18 @@ type Manifest struct {
 
 const manifestVersion = 1
 
-func appendManifest(dst []byte, m Manifest) []byte {
-	dst = append(dst, manifestVersion)
+func appendManifest(a *wire.Appender, m Manifest) {
+	a.Byte(manifestVersion)
 	var flags byte
 	if m.CountRepIterations {
 		flags |= 1
 	}
-	dst = append(dst, flags, m.EncodingID)
-	dst = binary.AppendUvarint(dst, uint64(m.Threads))
-	dst = binary.AppendUvarint(dst, m.StackWordsPerThread)
-	dst = binary.AppendUvarint(dst, m.FlushEveryChunks)
-	dst = binary.AppendUvarint(dst, uint64(len(m.ProgramName)))
-	return append(dst, m.ProgramName...)
+	a.Byte(flags)
+	a.Byte(m.EncodingID)
+	a.Int(m.Threads)
+	a.Uvarint(m.StackWordsPerThread)
+	a.Uvarint(m.FlushEveryChunks)
+	a.String(m.ProgramName)
 }
 
 func decodeManifest(data []byte) (Manifest, error) {
@@ -54,8 +54,9 @@ func decodeManifest(data []byte) (Manifest, error) {
 	}
 	m.CountRepIterations = data[1]&1 != 0
 	m.EncodingID = data[2]
-	rd := &reader{data: data, pos: 3}
-	threads, err := rd.uvarint()
+	rd := newReader(data)
+	rd.Skip(3)
+	threads, err := rd.Uvarint()
 	if err != nil {
 		return m, err
 	}
@@ -63,18 +64,18 @@ func decodeManifest(data []byte) (Manifest, error) {
 		return m, fmt.Errorf("%w: implausible thread count %d", ErrCorrupt, threads)
 	}
 	m.Threads = int(threads)
-	if m.StackWordsPerThread, err = rd.uvarint(); err != nil {
+	if m.StackWordsPerThread, err = rd.Uvarint(); err != nil {
 		return m, err
 	}
-	if m.FlushEveryChunks, err = rd.uvarint(); err != nil {
+	if m.FlushEveryChunks, err = rd.Uvarint(); err != nil {
 		return m, err
 	}
-	name, err := rd.bytes()
+	name, err := rd.View()
 	if err != nil {
 		return m, err
 	}
 	m.ProgramName = string(name)
-	if err := rd.done(); err != nil {
+	if err := rd.Done(); err != nil {
 		return m, err
 	}
 	return m, nil
@@ -95,19 +96,18 @@ type Commit struct {
 	InputCount []int
 }
 
-func appendCommit(dst []byte, c Commit) []byte {
-	dst = binary.AppendUvarint(dst, c.Epoch)
+func appendCommit(a *wire.Appender, c Commit) {
+	a.Uvarint(c.Epoch)
 	for t := range c.Watermark {
-		dst = binary.AppendUvarint(dst, c.Watermark[t])
+		a.Uvarint(c.Watermark[t])
 		var flags byte
 		if c.Exited[t] {
 			flags |= 1
 		}
-		dst = append(dst, flags)
-		dst = binary.AppendUvarint(dst, uint64(c.ChunkCount[t]))
-		dst = binary.AppendUvarint(dst, uint64(c.InputCount[t]))
+		a.Byte(flags)
+		a.Int(c.ChunkCount[t])
+		a.Int(c.InputCount[t])
 	}
-	return dst
 }
 
 func decodeCommit(data []byte, threads int) (Commit, error) {
@@ -117,16 +117,16 @@ func decodeCommit(data []byte, threads int) (Commit, error) {
 		ChunkCount: make([]int, threads),
 		InputCount: make([]int, threads),
 	}
-	rd := &reader{data: data}
+	rd := newReader(data)
 	var err error
-	if c.Epoch, err = rd.uvarint(); err != nil {
+	if c.Epoch, err = rd.Uvarint(); err != nil {
 		return c, err
 	}
 	for t := 0; t < threads; t++ {
-		if c.Watermark[t], err = rd.uvarint(); err != nil {
+		if c.Watermark[t], err = rd.Uvarint(); err != nil {
 			return c, err
 		}
-		flags, err := rd.byte()
+		flags, err := rd.Byte()
 		if err != nil {
 			return c, err
 		}
@@ -134,7 +134,7 @@ func decodeCommit(data []byte, threads int) (Commit, error) {
 			return c, fmt.Errorf("%w: commit flags %#x", ErrCorrupt, flags)
 		}
 		c.Exited[t] = flags&1 != 0
-		n, err := rd.uvarint()
+		n, err := rd.Uvarint()
 		if err != nil {
 			return c, err
 		}
@@ -142,7 +142,7 @@ func decodeCommit(data []byte, threads int) (Commit, error) {
 			return c, fmt.Errorf("%w: implausible chunk count %d", ErrCorrupt, n)
 		}
 		c.ChunkCount[t] = int(n)
-		if n, err = rd.uvarint(); err != nil {
+		if n, err = rd.Uvarint(); err != nil {
 			return c, err
 		}
 		if n > maxPayload {
@@ -150,7 +150,7 @@ func decodeCommit(data []byte, threads int) (Commit, error) {
 		}
 		c.InputCount[t] = int(n)
 	}
-	if err := rd.done(); err != nil {
+	if err := rd.Done(); err != nil {
 		return c, err
 	}
 	return c, nil
@@ -181,42 +181,40 @@ type CheckpointPayload struct {
 	InputPos int
 }
 
-func appendCheckpointPayload(dst []byte, cp *CheckpointPayload) []byte {
-	dst = binary.AppendUvarint(dst, cp.RetiredAt)
-	dst = binary.AppendUvarint(dst, uint64(len(cp.MemImage)))
-	dst = append(dst, cp.MemImage...)
+func appendCheckpointPayload(a *wire.Appender, cp *CheckpointPayload) {
+	a.Uvarint(cp.RetiredAt)
+	a.Blob(cp.MemImage)
 	for t := range cp.Contexts {
-		dst = appendContext(dst, cp.Contexts[t])
+		appendContext(a, cp.Contexts[t])
 		var flags byte
 		if cp.Exited[t] {
 			flags |= 1
 		}
-		dst = append(dst, flags)
+		a.Byte(flags)
 		for _, r := range cp.SigRegs[t] {
-			dst = binary.AppendUvarint(dst, r)
+			a.Uvarint(r)
 		}
-		dst = binary.AppendUvarint(dst, uint64(cp.SigPC[t]))
-		dst = binary.AppendUvarint(dst, uint64(cp.ChunkPos[t]))
+		a.Int(cp.SigPC[t])
+		a.Int(cp.ChunkPos[t])
 	}
-	dst = binary.AppendUvarint(dst, uint64(cp.InputPos))
-	dst = binary.AppendUvarint(dst, uint64(cp.HandlerPC))
+	a.Int(cp.InputPos)
+	a.Int(cp.HandlerPC)
 	var flags byte
 	if cp.HandlerOK {
 		flags |= 1
 	}
-	dst = append(dst, flags)
-	dst = binary.AppendUvarint(dst, uint64(len(cp.Output)))
-	return append(dst, cp.Output...)
+	a.Byte(flags)
+	a.Blob(cp.Output)
 }
 
 func decodeCheckpointPayload(data []byte, threads int) (*CheckpointPayload, error) {
 	cp := &CheckpointPayload{}
-	rd := &reader{data: data}
+	rd := newReader(data)
 	var err error
-	if cp.RetiredAt, err = rd.uvarint(); err != nil {
+	if cp.RetiredAt, err = rd.Uvarint(); err != nil {
 		return nil, err
 	}
-	if cp.MemImage, err = rd.bytes(); err != nil {
+	if cp.MemImage, err = rd.Blob(); err != nil {
 		return nil, err
 	}
 	for t := 0; t < threads; t++ {
@@ -225,24 +223,24 @@ func decodeCheckpointPayload(data []byte, threads int) (*CheckpointPayload, erro
 			return nil, err
 		}
 		cp.Contexts = append(cp.Contexts, ctx)
-		flags, err := rd.byte()
+		flags, err := rd.Byte()
 		if err != nil {
 			return nil, err
 		}
 		cp.Exited = append(cp.Exited, flags&1 != 0)
 		var regs [isa.NumRegs]uint64
 		for i := range regs {
-			if regs[i], err = rd.uvarint(); err != nil {
+			if regs[i], err = rd.Uvarint(); err != nil {
 				return nil, err
 			}
 		}
 		cp.SigRegs = append(cp.SigRegs, regs)
-		pc, err := rd.uvarint()
+		pc, err := rd.Uvarint()
 		if err != nil {
 			return nil, err
 		}
 		cp.SigPC = append(cp.SigPC, int(pc))
-		pos, err := rd.uvarint()
+		pos, err := rd.Uvarint()
 		if err != nil {
 			return nil, err
 		}
@@ -251,7 +249,7 @@ func decodeCheckpointPayload(data []byte, threads int) (*CheckpointPayload, erro
 		}
 		cp.ChunkPos = append(cp.ChunkPos, int(pos))
 	}
-	pos, err := rd.uvarint()
+	pos, err := rd.Uvarint()
 	if err != nil {
 		return nil, err
 	}
@@ -259,12 +257,12 @@ func decodeCheckpointPayload(data []byte, threads int) (*CheckpointPayload, erro
 		return nil, fmt.Errorf("%w: implausible checkpoint input position %d", ErrCorrupt, pos)
 	}
 	cp.InputPos = int(pos)
-	hpc, err := rd.uvarint()
+	hpc, err := rd.Uvarint()
 	if err != nil {
 		return nil, err
 	}
 	cp.HandlerPC = int(hpc)
-	flags, err := rd.byte()
+	flags, err := rd.Byte()
 	if err != nil {
 		return nil, err
 	}
@@ -272,10 +270,10 @@ func decodeCheckpointPayload(data []byte, threads int) (*CheckpointPayload, erro
 		return nil, fmt.Errorf("%w: checkpoint flags %#x", ErrCorrupt, flags)
 	}
 	cp.HandlerOK = flags&1 != 0
-	if cp.Output, err = rd.bytes(); err != nil {
+	if cp.Output, err = rd.Blob(); err != nil {
 		return nil, err
 	}
-	if err := rd.done(); err != nil {
+	if err := rd.Done(); err != nil {
 		return nil, err
 	}
 	return cp, nil
@@ -290,25 +288,23 @@ type FinalPayload struct {
 	RetiredPerThread []uint64
 }
 
-func appendFinalPayload(dst []byte, f *FinalPayload) []byte {
-	dst = binary.AppendUvarint(dst, f.MemChecksum)
-	dst = binary.AppendUvarint(dst, uint64(len(f.Output)))
-	dst = append(dst, f.Output...)
+func appendFinalPayload(a *wire.Appender, f *FinalPayload) {
+	a.Uvarint(f.MemChecksum)
+	a.Blob(f.Output)
 	for t := range f.FinalContexts {
-		dst = appendContext(dst, f.FinalContexts[t])
-		dst = binary.AppendUvarint(dst, f.RetiredPerThread[t])
+		appendContext(a, f.FinalContexts[t])
+		a.Uvarint(f.RetiredPerThread[t])
 	}
-	return dst
 }
 
 func decodeFinalPayload(data []byte, threads int) (*FinalPayload, error) {
 	f := &FinalPayload{}
-	rd := &reader{data: data}
+	rd := newReader(data)
 	var err error
-	if f.MemChecksum, err = rd.uvarint(); err != nil {
+	if f.MemChecksum, err = rd.Uvarint(); err != nil {
 		return nil, err
 	}
-	if f.Output, err = rd.bytes(); err != nil {
+	if f.Output, err = rd.Blob(); err != nil {
 		return nil, err
 	}
 	for t := 0; t < threads; t++ {
@@ -317,78 +313,47 @@ func decodeFinalPayload(data []byte, threads int) (*FinalPayload, error) {
 			return nil, err
 		}
 		f.FinalContexts = append(f.FinalContexts, ctx)
-		r, err := rd.uvarint()
+		r, err := rd.Uvarint()
 		if err != nil {
 			return nil, err
 		}
 		f.RetiredPerThread = append(f.RetiredPerThread, r)
 	}
-	if err := rd.done(); err != nil {
+	if err := rd.Done(); err != nil {
 		return nil, err
 	}
 	return f, nil
 }
 
-// reader is a bounds-checked payload cursor; all failures wrap the
-// shared sentinels so salvage can classify them.
+// reader is a payload cursor carrying segment's flavored sentinels; all
+// failures wrap the shared wire sentinels through them, so salvage can
+// classify damage with errors.Is.
 type reader struct {
-	data []byte
-	pos  int
+	wire.Cursor
 }
 
-func (r *reader) uvarint() (uint64, error) {
-	v, n := binary.Uvarint(r.data[r.pos:])
-	if n == 0 {
-		return 0, fmt.Errorf("%w: payload ends mid-field", ErrTruncated)
-	}
-	if n < 0 {
-		return 0, fmt.Errorf("%w: varint overflow", ErrCorrupt)
-	}
-	r.pos += n
-	return v, nil
-}
-
-func (r *reader) byte() (byte, error) {
-	if r.pos >= len(r.data) {
-		return 0, fmt.Errorf("%w: payload ends mid-field", ErrTruncated)
-	}
-	b := r.data[r.pos]
-	r.pos++
-	return b, nil
-}
-
-func (r *reader) bytes() ([]byte, error) {
-	n, err := r.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	// Compare as uint64: a huge length must not overflow int.
-	if n > uint64(len(r.data)-r.pos) {
-		return nil, fmt.Errorf("%w: length %d overruns payload", ErrTruncated, n)
-	}
-	out := append([]byte(nil), r.data[r.pos:r.pos+int(n)]...)
-	r.pos += int(n)
-	return out, nil
+func newReader(data []byte) *reader {
+	return &reader{wire.CursorWith(data, ErrTruncated, ErrCorrupt)}
 }
 
 func (r *reader) context() (isa.Context, error) {
 	var ctx isa.Context
 	for i := range ctx.Regs {
-		v, err := r.uvarint()
+		v, err := r.Uvarint()
 		if err != nil {
 			return ctx, err
 		}
 		ctx.Regs[i] = v
 	}
-	pc, err := r.uvarint()
+	pc, err := r.Uvarint()
 	if err != nil {
 		return ctx, err
 	}
 	ctx.PC = int(pc)
-	if ctx.Retired, err = r.uvarint(); err != nil {
+	if ctx.Retired, err = r.Uvarint(); err != nil {
 		return ctx, err
 	}
-	flags, err := r.byte()
+	flags, err := r.Byte()
 	if err != nil {
 		return ctx, err
 	}
@@ -397,25 +362,18 @@ func (r *reader) context() (isa.Context, error) {
 	}
 	ctx.Halted = flags&1 != 0
 	ctx.RepActive = flags&2 != 0
-	if ctx.RepDone, err = r.uvarint(); err != nil {
+	if ctx.RepDone, err = r.Uvarint(); err != nil {
 		return ctx, err
 	}
 	return ctx, nil
 }
 
-func (r *reader) done() error {
-	if r.pos != len(r.data) {
-		return fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(r.data)-r.pos)
-	}
-	return nil
-}
-
-func appendContext(dst []byte, ctx isa.Context) []byte {
+func appendContext(a *wire.Appender, ctx isa.Context) {
 	for _, r := range ctx.Regs {
-		dst = binary.AppendUvarint(dst, r)
+		a.Uvarint(r)
 	}
-	dst = binary.AppendUvarint(dst, uint64(ctx.PC))
-	dst = binary.AppendUvarint(dst, ctx.Retired)
+	a.Int(ctx.PC)
+	a.Uvarint(ctx.Retired)
 	var flags byte
 	if ctx.Halted {
 		flags |= 1
@@ -423,6 +381,6 @@ func appendContext(dst []byte, ctx isa.Context) []byte {
 	if ctx.RepActive {
 		flags |= 2
 	}
-	dst = append(dst, flags)
-	return binary.AppendUvarint(dst, ctx.RepDone)
+	a.Byte(flags)
+	a.Uvarint(ctx.RepDone)
 }

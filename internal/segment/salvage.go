@@ -1,7 +1,6 @@
 package segment
 
 import (
-	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"math"
@@ -9,6 +8,7 @@ import (
 
 	"repro/internal/capo"
 	"repro/internal/chunk"
+	"repro/internal/wire"
 )
 
 // Stream is a decoded (possibly salvaged) segmented recording.
@@ -98,12 +98,15 @@ func parseSegment(data []byte, pos int) (rawSegment, error) {
 	if len(rest) < headerSize {
 		return s, fmt.Errorf("%w: %d-byte segment header torn at offset %d", ErrTruncated, len(rest), pos)
 	}
-	if [4]byte(rest[0:4]) != streamMagic {
+	c := wire.CursorWith(rest, ErrTruncated, ErrCorrupt)
+	magic, _ := c.Raw(4)
+	if [4]byte(magic) != streamMagic {
 		return s, fmt.Errorf("%w: bad segment magic at offset %d", ErrCorrupt, pos)
 	}
-	s.seq = binary.LittleEndian.Uint32(rest[4:8])
-	s.kind = Kind(rest[8])
-	plen := binary.LittleEndian.Uint32(rest[9:13])
+	seq, _ := c.U32()
+	kind, _ := c.Byte()
+	plen, _ := c.U32() // header reads cannot fail: headerSize checked above
+	s.seq, s.kind = seq, Kind(kind)
 	if plen > maxPayload {
 		return s, fmt.Errorf("%w: segment payload length %d exceeds limit", ErrCorrupt, plen)
 	}
@@ -111,13 +114,19 @@ func parseSegment(data []byte, pos int) (rawSegment, error) {
 	if len(rest) < total {
 		return s, fmt.Errorf("%w: segment torn at offset %d (%d of %d bytes)", ErrTruncated, pos, len(rest), total)
 	}
-	body := rest[4 : headerSize+int(plen)]
-	crc := binary.LittleEndian.Uint32(rest[headerSize+int(plen) : total])
-	if got := crc32.Checksum(body, castagnoli); got != crc {
+	payload, err := c.Raw(int(plen))
+	if err != nil {
+		return s, err
+	}
+	crc, err := c.U32()
+	if err != nil {
+		return s, err
+	}
+	if got := crc32.Checksum(rest[4:headerSize+int(plen)], castagnoli); got != crc {
 		return s, fmt.Errorf("%w: checksum mismatch on segment seq %d (%s) at offset %d",
 			ErrCorrupt, s.seq, s.kind, pos)
 	}
-	s.payload = rest[headerSize : headerSize+int(plen)]
+	s.payload = payload
 	s.end = pos + total
 	return s, nil
 }
@@ -265,8 +274,8 @@ func (sc *scanner) apply(s rawSegment) error {
 		if sc.cur == nil {
 			return fmt.Errorf("%w: chunk batch outside an epoch", ErrCorrupt)
 		}
-		rd := &reader{data: s.payload}
-		tv, err := rd.uvarint()
+		rd := newReader(s.payload)
+		tv, err := rd.Uvarint()
 		if err != nil {
 			return err
 		}
@@ -278,7 +287,7 @@ func (sc *scanner) apply(s rawSegment) error {
 			return fmt.Errorf("%w: duplicate chunk batch for thread %d in epoch %d",
 				ErrCorrupt, t, sc.cur.commit.Epoch)
 		}
-		count, err := rd.uvarint()
+		count, err := rd.Uvarint()
 		if err != nil {
 			return err
 		}
@@ -289,11 +298,11 @@ func (sc *scanner) apply(s rawSegment) error {
 		wm := sc.cur.commit.Watermark[t]
 		var prev *chunk.Entry
 		for i := uint64(0); i < count; i++ {
-			e, n, err := sc.enc.Decode(s.payload[rd.pos:], prev)
+			e, n, err := sc.enc.Decode(rd.Rest(), prev)
 			if err != nil {
 				return fmt.Errorf("epoch %d thread %d entry %d: %w", sc.cur.commit.Epoch, t, i, err)
 			}
-			rd.pos += n
+			rd.Skip(n)
 			if e.TS < sc.lastTS[t] {
 				return fmt.Errorf("%w: thread %d timestamp %d regresses below %d",
 					ErrCorrupt, t, e.TS, sc.lastTS[t])
@@ -306,7 +315,7 @@ func (sc *scanner) apply(s rawSegment) error {
 			sc.logs[t].Append(e)
 			prev = &sc.logs[t].Entries[sc.logs[t].Len()-1]
 		}
-		if err := rd.done(); err != nil {
+		if err := rd.Done(); err != nil {
 			return err
 		}
 		sc.cur.gotChunk[t] = true

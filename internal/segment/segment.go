@@ -21,13 +21,13 @@
 package segment
 
 import (
-	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"io"
 
 	"repro/internal/capo"
 	"repro/internal/chunk"
+	"repro/internal/wire"
 )
 
 // Kind tags a segment's payload type.
@@ -142,30 +142,27 @@ func (w *Writer) writeSegment(kind Kind, payload []byte) {
 		w.err = fmt.Errorf("segment: payload of %d bytes exceeds limit", len(payload))
 		return
 	}
-	n := headerSize + len(payload) + trailerSize
-	if cap(w.scratch) < n {
-		w.scratch = make([]byte, 0, n+1024)
-	}
-	buf := w.scratch[:0]
-	buf = append(buf, streamMagic[:]...)
-	buf = binary.LittleEndian.AppendUint32(buf, w.seq)
-	buf = append(buf, byte(kind))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
-	buf = append(buf, payload...)
-	crc := crc32.Checksum(buf[4:], castagnoli)
-	buf = binary.LittleEndian.AppendUint32(buf, crc)
-	if _, err := w.w.Write(buf); err != nil {
+	a := wire.AppenderOf(w.scratch[:0])
+	a.Grow(headerSize + len(payload) + trailerSize)
+	a.Raw(streamMagic[:])
+	a.U32(w.seq)
+	a.Byte(byte(kind))
+	a.U32(uint32(len(payload)))
+	a.Raw(payload)
+	crc := crc32.Checksum(a.Buf[4:], castagnoli)
+	a.U32(crc)
+	if _, err := w.w.Write(a.Buf); err != nil {
 		w.err = fmt.Errorf("segment: write: %w", err)
 		return
 	}
 	w.seq++
 	w.segments++
-	w.totalBytes += uint64(len(buf))
+	w.totalBytes += uint64(a.Len())
 	w.framingBytes += uint64(headerSize + trailerSize)
 	if kind == KindCommit {
 		w.framingBytes += uint64(len(payload))
 	}
-	w.scratch = buf[:0]
+	w.scratch = a.Buf[:0]
 }
 
 // WriteManifest opens the stream. It must be the first segment.
@@ -181,7 +178,10 @@ func (w *Writer) WriteManifest(m Manifest) {
 	}
 	w.enc = enc
 	w.threads = m.Threads
-	w.writeSegment(KindManifest, appendManifest(nil, m))
+	p := wire.GetAppender()
+	defer wire.PutAppender(p)
+	appendManifest(p, m)
+	w.writeSegment(KindManifest, p.Buf)
 }
 
 // WriteCommit opens a flush epoch.
@@ -191,7 +191,10 @@ func (w *Writer) WriteCommit(c Commit) {
 		w.err = fmt.Errorf("segment: commit arrays do not match %d threads", w.threads)
 		return
 	}
-	w.writeSegment(KindCommit, appendCommit(nil, c))
+	p := wire.GetAppender()
+	defer wire.PutAppender(p)
+	appendCommit(p, c)
+	w.writeSegment(KindCommit, p.Buf)
 }
 
 // WriteChunkBatch emits thread's pending chunk entries. Delta encoding
@@ -202,27 +205,38 @@ func (w *Writer) WriteChunkBatch(thread int, entries []chunk.Entry) {
 		w.err = fmt.Errorf("segment: chunk batch before manifest")
 		return
 	}
-	payload := binary.AppendUvarint(nil, uint64(thread))
-	payload = binary.AppendUvarint(payload, uint64(len(entries)))
+	p := wire.GetAppender()
+	defer wire.PutAppender(p)
+	p.Int(thread)
+	p.Int(len(entries))
 	var prev *chunk.Entry
 	for i := range entries {
-		payload = w.enc.Append(payload, entries[i], prev)
+		p.Buf = w.enc.Append(p.Buf, entries[i], prev)
 		prev = &entries[i]
 	}
-	w.writeSegment(KindChunk, payload)
+	w.writeSegment(KindChunk, p.Buf)
 }
 
 // WriteInputBatch emits the epoch's pending input records.
 func (w *Writer) WriteInputBatch(recs []capo.Record) {
-	w.writeSegment(KindInput, capo.MarshalRecords(recs))
+	p := wire.GetAppender()
+	defer wire.PutAppender(p)
+	capo.AppendRecords(p, recs)
+	w.writeSegment(KindInput, p.Buf)
 }
 
 // WriteCheckpoint emits a flight-recorder snapshot.
 func (w *Writer) WriteCheckpoint(cp *CheckpointPayload) {
-	w.writeSegment(KindCheckpoint, appendCheckpointPayload(nil, cp))
+	p := wire.GetAppender()
+	defer wire.PutAppender(p)
+	appendCheckpointPayload(p, cp)
+	w.writeSegment(KindCheckpoint, p.Buf)
 }
 
 // WriteFinal closes the stream with the reference final state.
 func (w *Writer) WriteFinal(f *FinalPayload) {
-	w.writeSegment(KindFinal, appendFinalPayload(nil, f))
+	p := wire.GetAppender()
+	defer wire.PutAppender(p)
+	appendFinalPayload(p, f)
+	w.writeSegment(KindFinal, p.Buf)
 }

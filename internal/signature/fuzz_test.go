@@ -2,8 +2,9 @@ package signature
 
 import (
 	"bytes"
-	"encoding/binary"
 	"testing"
+
+	"repro/internal/wire"
 )
 
 // FuzzSignatureUnmarshal feeds arbitrary bytes to the signature decoder.
@@ -35,15 +36,15 @@ func FuzzSignatureUnmarshal(f *testing.F) {
 
 	// Word-count lie: a header claiming 1024 bits followed by too few
 	// payload words.
-	lie := make([]byte, 0, 16)
-	lie = append(lie, sigMagic[:]...)
-	lie = append(lie, sigVersion)
-	lie = binary.AppendUvarint(lie, 1024) // Bits
-	lie = binary.AppendUvarint(lie, 2)    // Hashes
-	lie = binary.AppendUvarint(lie, 192)  // MaxInserts
-	lie = binary.AppendUvarint(lie, 3)    // inserts
-	lie = append(lie, make([]byte, 8)...) // one word where 16 are due
-	f.Add(lie)
+	la := wire.AppenderOf(make([]byte, 0, 16))
+	la.Raw(sigMagic[:])
+	la.Byte(sigVersion)
+	la.Uvarint(1024)        // Bits
+	la.Uvarint(2)           // Hashes
+	la.Uvarint(192)         // MaxInserts
+	la.Uvarint(3)           // inserts
+	la.Raw(make([]byte, 8)) // one word where 16 are due
+	f.Add(la.Buf)
 
 	// Sub-word Bits claim (the New/Unmarshal agreement regression).
 	sub := append([]byte(nil), good...)

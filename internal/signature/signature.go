@@ -13,10 +13,10 @@
 package signature
 
 import (
-	"encoding/binary"
-	"errors"
 	"fmt"
 	"math/bits"
+
+	"repro/internal/wire"
 )
 
 // Config parameterises a signature.
@@ -219,8 +219,12 @@ var sigMagic = [4]byte{'Q', 'R', 'S', 'G'}
 
 const sigVersion = 1
 
-// ErrCorruptSignature reports a malformed serialized signature.
-var ErrCorruptSignature = errors.New("signature: corrupt serialized signature")
+// ErrCorruptSignature reports a malformed serialized signature. It
+// wraps the shared wire.ErrCorrupt sentinel so signature decode faults
+// triage exactly like chunk-, input- and segment-log faults (harness
+// fault classification is a single errors.Is against the shared
+// sentinels, with no signature special case).
+var ErrCorruptSignature = fmt.Errorf("signature: corrupt serialized signature: %w", wire.ErrCorrupt)
 
 // Marshal serializes the filter: configuration, insertion counter and bit
 // array. The exact shadow set and the lifetime accounting counters are
@@ -228,17 +232,17 @@ var ErrCorruptSignature = errors.New("signature: corrupt serialized signature")
 // signature answers Test/Intersects/Saturated identically to the
 // original.
 func (s *Signature) Marshal() []byte {
-	out := make([]byte, 0, 16+len(s.words)*8)
-	out = append(out, sigMagic[:]...)
-	out = append(out, sigVersion)
-	out = binary.AppendUvarint(out, uint64(s.cfg.Bits))
-	out = binary.AppendUvarint(out, uint64(s.cfg.Hashes))
-	out = binary.AppendUvarint(out, uint64(s.cfg.MaxInserts))
-	out = binary.AppendUvarint(out, uint64(s.inserts))
+	a := wire.AppenderOf(make([]byte, 0, 16+len(s.words)*8))
+	a.Raw(sigMagic[:])
+	a.Byte(sigVersion)
+	a.Uvarint(uint64(s.cfg.Bits))
+	a.Uvarint(uint64(s.cfg.Hashes))
+	a.Uvarint(uint64(s.cfg.MaxInserts))
+	a.Uvarint(uint64(s.inserts))
 	for _, w := range s.words {
-		out = binary.LittleEndian.AppendUint64(out, w)
+		a.U64(w)
 	}
-	return out
+	return a.Buf
 }
 
 // Unmarshal parses a signature serialized with Marshal. Malformed input
@@ -251,28 +255,21 @@ func Unmarshal(data []byte) (*Signature, error) {
 	if data[4] != sigVersion {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptSignature, data[4])
 	}
-	pos := 5
-	next := func() (uint64, error) {
-		v, n := binary.Uvarint(data[pos:])
-		if n <= 0 {
-			return 0, ErrCorruptSignature
-		}
-		pos += n
-		return v, nil
-	}
-	bitsN, err := next()
+	c := wire.CursorWith(data, ErrCorruptSignature, ErrCorruptSignature)
+	c.Skip(5)
+	bitsN, err := c.Uvarint()
 	if err != nil {
 		return nil, err
 	}
-	hashes, err := next()
+	hashes, err := c.Uvarint()
 	if err != nil {
 		return nil, err
 	}
-	maxIns, err := next()
+	maxIns, err := c.Uvarint()
 	if err != nil {
 		return nil, err
 	}
-	inserts, err := next()
+	inserts, err := c.Uvarint()
 	if err != nil {
 		return nil, err
 	}
@@ -285,12 +282,13 @@ func Unmarshal(data []byte) (*Signature, error) {
 		return nil, fmt.Errorf("%w: Hashes %d out of 1..8", ErrCorruptSignature, hashes)
 	}
 	s := New(Config{Bits: uint(bitsN), Hashes: uint(hashes), MaxInserts: uint(maxIns)})
-	if len(data)-pos != len(s.words)*8 {
-		return nil, fmt.Errorf("%w: %d payload bytes for %d words", ErrCorruptSignature, len(data)-pos, len(s.words))
+	if c.Remaining() != len(s.words)*8 {
+		return nil, fmt.Errorf("%w: %d payload bytes for %d words", ErrCorruptSignature, c.Remaining(), len(s.words))
 	}
 	for i := range s.words {
-		s.words[i] = binary.LittleEndian.Uint64(data[pos:])
-		pos += 8
+		if s.words[i], err = c.U64(); err != nil {
+			return nil, err
+		}
 	}
 	s.inserts = uint(inserts)
 	return s, nil
