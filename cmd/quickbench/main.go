@@ -5,7 +5,7 @@
 // Usage:
 //
 //	quickbench                 # run everything
-//	quickbench -exp F1         # one experiment (T1 T2 F1..F8 A1..A8)
+//	quickbench -exp F1         # one experiment (T1 T2 F1..F8 A1..A9)
 //	quickbench -exp A8 -workers 8
 //	                           # parallel-replay speedup on 8 workers
 //	quickbench -threads 1,2,4  # thread sweep

@@ -116,6 +116,20 @@ func Replay(prog *isa.Program, b *Bundle) (*replay.Result, error) {
 	return ReplayWorkers(prog, b, 0)
 }
 
+// ReplayBounded replays the bundle serially under a step budget — the
+// harness's guard when triaging salvaged (possibly damaged) recordings
+// that could otherwise run away. Unlike the raw replay.Input path it
+// wires a bundle's checkpoint start state, so it works on windowed
+// (flight-recorder ring) salvages too.
+func ReplayBounded(prog *isa.Program, b *Bundle, maxSteps uint64) (*replay.Result, error) {
+	in, err := replayInput(prog, b)
+	if err != nil {
+		return nil, err
+	}
+	in.MaxSteps = maxSteps
+	return replay.Run(in)
+}
+
 // ReplayWorkers replays the bundle with a bounded worker pool: when
 // workers resolves to at least 2 and the bundle carries interval
 // checkpoints, the logs are partitioned at the checkpoints and the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"io"
 
 	"repro/internal/isa"
@@ -31,6 +32,8 @@ type Salvaged struct {
 	Report *segment.Report
 
 	checkpoint *segment.CheckpointPayload
+	base       *segment.CheckpointPayload
+	window     uint64
 }
 
 // SalvageStream scans a segmented stream, discards any torn or corrupt
@@ -41,6 +44,11 @@ func SalvageStream(data []byte) (*Salvaged, error) {
 	st, rep, err := segment.Salvage(data)
 	if err != nil {
 		return nil, err
+	}
+	if st.Manifest.BaseCheckpoint && st.Base == nil {
+		// A windowed stream whose history was evicted is only replayable
+		// from its base checkpoint; losing the base loses the recording.
+		return nil, fmt.Errorf("core: windowed stream lost its base checkpoint: %w", segment.ErrTruncated)
 	}
 	b := &Bundle{
 		ProgramName:         st.Manifest.ProgramName,
@@ -68,7 +76,19 @@ func SalvageStream(data []byte) (*Salvaged, error) {
 			RetiredAt: cp.RetiredAt,
 		})
 	}
-	return &Salvaged{Bundle: b, Report: rep, checkpoint: st.Checkpoint}, nil
+	if st.Base != nil {
+		// Replay-from-window-base: the retained logs start at the base
+		// checkpoint, so the bundle carries its state as the initial
+		// state (exactly like a flight-recorder tail bundle). The base
+		// also sits at IntervalCheckpoints[0]; partitioning skips it as a
+		// non-advancing cut and the remaining checkpoints still split the
+		// window for parallel replay.
+		b.Checkpoint = b.IntervalCheckpoints[0].State
+	}
+	return &Salvaged{
+		Bundle: b, Report: rep,
+		checkpoint: st.Checkpoint, base: st.Base, window: st.Manifest.Window,
+	}, nil
 }
 
 // checkpointStateFromPayload converts a streamed checkpoint payload into
@@ -93,6 +113,21 @@ func checkpointStateFromPayload(cp *segment.CheckpointPayload) *CheckpointState 
 // HasCheckpoint reports whether a flight-recorder snapshot survived
 // inside the salvaged prefix.
 func (s *Salvaged) HasCheckpoint() bool { return s.checkpoint != nil }
+
+// Window returns the stream's retention window in checkpoint intervals
+// (0: unbounded stream).
+func (s *Salvaged) Window() uint64 { return s.window }
+
+// WindowBase reports the retention window's base checkpoint: the
+// retired-instruction count replay resumes from, and whether the stream
+// had evicted history at all (false for unbounded streams and windowed
+// streams young enough to still reach back to program start).
+func (s *Salvaged) WindowBase() (retiredAt uint64, ok bool) {
+	if s.base == nil {
+		return 0, false
+	}
+	return s.base.RetiredAt, true
+}
 
 // Tail returns the flight-recorder tail bundle: the last surviving
 // checkpoint plus only the salvaged log entries after it. Like the full

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -26,12 +27,16 @@ type BenchResult struct {
 	InstrsPerSec float64 `json:"instrs_per_sec"`
 	AllocsPerOp  uint64  `json:"allocs_per_op"`
 	BytesPerOp   uint64  `json:"bytes_per_op"`
+	// StreamBytes is the recording's on-disk size, set only by stream
+	// benchmarks (flight:window). For a windowed recording it is the
+	// steady-state footprint the retention guard bounds.
+	StreamBytes uint64 `json:"stream_bytes,omitempty"`
 }
 
 // BaselineWorkloads is the committed baseline's workload set; the guard
 // measures exactly these. codec:counter times the bundle wire round
 // trip, so the baseline pins the wire layer's allocation profile.
-var BaselineWorkloads = []string{"counter", "ioheavy", "repcopy", "screen:racy", "replay:par", "screen:par", "codec:counter"}
+var BaselineWorkloads = []string{"counter", "ioheavy", "repcopy", "screen:racy", "replay:par", "screen:par", "codec:counter", "flight:window"}
 
 // allocMeter samples the runtime's allocation counters around a measured
 // loop. The harness is library code, so it cannot use testing.B's
@@ -191,6 +196,57 @@ func MeasureReplayThroughput(threads, cores, workers, runs int) (*BenchResult, e
 	return res, nil
 }
 
+// benchWindowRequests sizes the flight-recorder benchmark's server
+// workload, benchWindowCheckpointEvery its checkpoint cadence and
+// benchWindowRetain its retention window — together they yield a run
+// long enough to evict several intervals, so the measured stream is the
+// window's steady-state footprint rather than a growing prefix.
+const (
+	benchWindowRequests        = 96
+	benchWindowCheckpointEvery = 20000
+	benchWindowRetain          = 4
+)
+
+// MeasureWindowThroughput records the long-running request-server
+// workload through a K-interval flight-recorder window runs times.
+// Throughput is windowed-recording instructions per second of host wall
+// time (comparable to the plain recording benchmarks: the delta is the
+// ring's buffering overhead), and StreamBytes is the rendered window's
+// on-disk size — the fixed steady-state cost the retention guard keeps
+// from silently growing back into an unbounded log.
+func MeasureWindowThroughput(threads, cores, runs int) (*BenchResult, error) {
+	prog := workload.ReqServer(benchWindowRequests, 4, 16, threads)
+	cfg := recordConfig(cores, threads, 1)
+	cfg.CheckpointEveryInstrs = benchWindowCheckpointEvery
+	cfg.RetainCheckpoints = benchWindowRetain
+	if runs < 1 {
+		runs = 1
+	}
+	res := &BenchResult{Workload: "flight:window", Threads: threads, Cores: cores}
+	var meter allocMeter
+	meter.start()
+	for i := 0; i < runs; i++ {
+		var buf bytes.Buffer
+		start := time.Now()
+		rec, err := core.StreamRecord(prog, cfg, &buf)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("harness: bench windowed recording failed: %w", err)
+		}
+		var instrs uint64
+		for _, r := range rec.RetiredPerThread {
+			instrs += r
+		}
+		res.Instrs = instrs
+		res.StreamBytes = uint64(buf.Len())
+		if tput := float64(instrs) / elapsed.Seconds(); tput > res.InstrsPerSec {
+			res.InstrsPerSec = tput
+		}
+	}
+	meter.stop(res, runs)
+	return res, nil
+}
+
 // MeasureCodecThroughput records the named workload once, then times
 // runs full bundle serialization round trips (Marshal plus
 // UnmarshalBundle). Instrs is the recorded instruction count, so
@@ -241,6 +297,8 @@ func measureWorkload(name string, threads, cores, runs int) (*BenchResult, error
 		return MeasureReplayThroughput(threads, cores, 4, runs)
 	case "screen:par":
 		return MeasureScreenThroughput("racy", threads, cores, 4, runs)
+	case "flight:window":
+		return MeasureWindowThroughput(threads, cores, runs)
 	}
 	if rest, ok := strings.CutPrefix(name, "screen:"); ok {
 		return MeasureScreenThroughput(rest, threads, cores, 0, runs)
@@ -303,6 +361,10 @@ func CheckRegression(base BenchResult, got *BenchResult, tolerance float64) erro
 	if base.BytesPerOp > 0 && got.BytesPerOp > 2*base.BytesPerOp {
 		return fmt.Errorf("harness: %s allocated bytes regressed: %d B/op vs baseline %d (ceiling 2x)",
 			base.Workload, got.BytesPerOp, base.BytesPerOp)
+	}
+	if base.StreamBytes > 0 && got.StreamBytes > 2*base.StreamBytes {
+		return fmt.Errorf("harness: %s stream grew: %d bytes on disk vs baseline %d (ceiling 2x) — retention window leaking?",
+			base.Workload, got.StreamBytes, base.StreamBytes)
 	}
 	return nil
 }

@@ -31,9 +31,10 @@ func TestRunSmallMatrix(t *testing.T) {
 	if fails := rep.MetaFailures(); len(fails) != 0 {
 		t.Errorf("metamorphic failures: %v", fails)
 	}
-	// Five base properties plus parallel-replay-matches-serial per cell;
-	// neither workload here declares a race expectation.
-	wantMeta := len(cfg.Workloads) * len(cfg.Cores) * 6
+	// Five base properties plus parallel-replay-matches-serial and the
+	// two flight-recorder window properties per cell; neither workload
+	// here declares a race expectation.
+	wantMeta := len(cfg.Workloads) * len(cfg.Cores) * 8
 	if got := len(rep.Meta); got != wantMeta {
 		t.Errorf("metamorphic results: got %d, want %d", got, wantMeta)
 	}
@@ -146,6 +147,8 @@ func TestOutcomeString(t *testing.T) {
 		OutcomeVerify: "verify",
 		OutcomeBenign: "benign",
 		OutcomeSilent: "SILENT",
+		OutcomePrefix: "prefix",
+		OutcomeWindow: "window",
 	}
 	for o, want := range cases {
 		if got := o.String(); got != want {

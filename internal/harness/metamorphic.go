@@ -30,6 +30,8 @@ const (
 	PropRaceExpectation      = "race-expectation-holds"
 	PropParallelReplay       = "parallel-replay-matches-serial"
 	PropReencodeIdentity     = "reencode-is-identity"
+	PropWindowedTail         = "windowed-tail-matches-unbounded"
+	PropWindowMonotone       = "window-size-monotone"
 )
 
 // checkMetamorphic runs the metamorphic properties against prog under
@@ -234,6 +236,151 @@ func checkParallelReplay(prog *isa.Program, cfg machine.Config) *PropertyResult 
 		pr.Err = err.Error()
 	}
 	return pr
+}
+
+// checkWindowed pins the flight-recorder ring's defining properties by
+// recording the same execution three ways — streamed unbounded, streamed
+// through a K=2 retention window, and streamed through a window too
+// large to ever evict — and relating the salvaged results:
+//
+//   - windowed-tail-matches-unbounded: the windowed stream salvages to
+//     exactly the tail of the unbounded recording from the window's base
+//     checkpoint — identical logs, identical serial replay, and parallel
+//     replay from the window base agrees with both and verifies. An
+//     operator replaying a flight-recorder window sees bit-for-bit what
+//     an unbounded recording would have shown from that point.
+//   - window-size-monotone: a window large enough to never evict is the
+//     unbounded stream — its salvaged bundle is byte-identical — and a
+//     smaller window never costs more stream bytes than a larger one.
+func checkWindowed(prog *isa.Program, cfg machine.Config) []PropertyResult {
+	var out []PropertyResult
+	add := func(prop string, err error) {
+		pr := PropertyResult{Property: prop}
+		if err != nil {
+			pr.Err = err.Error()
+		}
+		out = append(out, pr)
+	}
+
+	// Same low cadence as the parallel-replay property, so even short
+	// conformance workloads cross several checkpoints and actually evict.
+	cfg.CheckpointEveryInstrs = 500
+	var bufU, bufW, bufM bytes.Buffer
+	full, err := core.StreamRecord(prog, cfg, &bufU)
+	if err == nil {
+		wcfg := cfg
+		wcfg.RetainCheckpoints = 2
+		_, err = core.StreamRecord(prog, wcfg, &bufW)
+	}
+	if err == nil {
+		mcfg := cfg
+		mcfg.RetainCheckpoints = 1 << 30
+		_, err = core.StreamRecord(prog, mcfg, &bufM)
+	}
+	if err != nil {
+		err = fmt.Errorf("windowed recording failed: %w", err)
+		add(PropWindowedTail, err)
+		add(PropWindowMonotone, err)
+		return out
+	}
+
+	add(PropWindowedTail, func() error {
+		sw, err := core.SalvageStream(bufW.Bytes())
+		if err != nil {
+			return fmt.Errorf("salvage of clean windowed stream: %w", err)
+		}
+		wb := sw.Bundle
+		if wb.Partial {
+			return fmt.Errorf("clean windowed stream salvaged as partial")
+		}
+		j := len(full.IntervalCheckpoints) - len(wb.IntervalCheckpoints)
+		if j < 0 {
+			return fmt.Errorf("window kept %d checkpoints, unbounded recording has only %d",
+				len(wb.IntervalCheckpoints), len(full.IntervalCheckpoints))
+		}
+		ref := full
+		if base, evicted := sw.WindowBase(); evicted {
+			if j == 0 {
+				return fmt.Errorf("window evicted history yet kept all %d checkpoints",
+					len(full.IntervalCheckpoints))
+			}
+			if want := full.IntervalCheckpoints[j].RetiredAt; base != want {
+				return fmt.Errorf("window base at %d retired instructions, unbounded checkpoint %d is at %d",
+					base, j, want)
+			}
+			if ref, err = core.TailAt(full, j); err != nil {
+				return fmt.Errorf("tail of unbounded recording at checkpoint %d: %w", j, err)
+			}
+		} else if j != 0 {
+			return fmt.Errorf("window dropped %d checkpoints without reporting a base", j)
+		}
+		for t := range ref.ChunkLogs {
+			if !bytes.Equal(wb.ChunkLogs[t].Marshal(chunk.Fixed{}), ref.ChunkLogs[t].Marshal(chunk.Fixed{})) {
+				return fmt.Errorf("thread %d chunk log differs from unbounded tail", t)
+			}
+		}
+		if !bytes.Equal(capo.MarshalRecords(wb.InputLog.Records), capo.MarshalRecords(ref.InputLog.Records)) {
+			return fmt.Errorf("input log differs from unbounded tail")
+		}
+		rw, err := core.Replay(prog, wb)
+		if err != nil {
+			return fmt.Errorf("serial replay of windowed bundle: %w", err)
+		}
+		rt, err := core.Replay(prog, ref)
+		if err != nil {
+			return fmt.Errorf("serial replay of unbounded tail: %w", err)
+		}
+		if rw.MemChecksum != rt.MemChecksum || !bytes.Equal(rw.Output, rt.Output) || rw.Steps != rt.Steps {
+			return fmt.Errorf("windowed replay (checksum %#x, %d bytes out, %d steps) != tail replay (%#x, %d, %d)",
+				rw.MemChecksum, len(rw.Output), rw.Steps, rt.MemChecksum, len(rt.Output), rt.Steps)
+		}
+		for t := range rw.FinalContexts {
+			if rw.FinalContexts[t] != rt.FinalContexts[t] {
+				return fmt.Errorf("thread %d final context differs from tail replay", t)
+			}
+		}
+		// Parallel replay of the windowed bundle partitions from the
+		// window base at the retained interior checkpoints.
+		pw, err := core.ReplayWorkers(prog, wb, 4)
+		if err != nil {
+			return fmt.Errorf("parallel replay from window base: %w", err)
+		}
+		if pw.MemChecksum != rw.MemChecksum || !bytes.Equal(pw.Output, rw.Output) || pw.Steps != rw.Steps {
+			return fmt.Errorf("parallel replay from window base diverges from serial")
+		}
+		if err := core.Verify(wb, pw); err != nil {
+			return fmt.Errorf("windowed bundle fails verification: %w", err)
+		}
+		return nil
+	}())
+
+	add(PropWindowMonotone, func() error {
+		su, err := core.SalvageStream(bufU.Bytes())
+		if err != nil {
+			return fmt.Errorf("salvage of unbounded stream: %w", err)
+		}
+		sm, err := core.SalvageStream(bufM.Bytes())
+		if err != nil {
+			return fmt.Errorf("salvage of never-evicting windowed stream: %w", err)
+		}
+		if !su.Report.Complete || !sm.Report.Complete {
+			return fmt.Errorf("clean streams salvaged as incomplete (unbounded %v, windowed %v)",
+				su.Report.Complete, sm.Report.Complete)
+		}
+		if _, evicted := sm.WindowBase(); evicted {
+			return fmt.Errorf("never-evicting window reports an evicted base")
+		}
+		if !bytes.Equal(su.Bundle.Marshal(), sm.Bundle.Marshal()) {
+			return fmt.Errorf("never-evicting window salvages to a different bundle than the unbounded stream")
+		}
+		if bufW.Len() > bufM.Len() {
+			return fmt.Errorf("K=2 window wrote %d stream bytes, larger window wrote %d",
+				bufW.Len(), bufM.Len())
+		}
+		return nil
+	}())
+
+	return out
 }
 
 // checkRaceExpectation runs the offline race detector against workloads

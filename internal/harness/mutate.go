@@ -94,6 +94,10 @@ const (
 	// replayed as a verified prefix of the original execution — the
 	// crash sweep's good outcome (see CrashSweep).
 	OutcomePrefix
+	// OutcomeWindow: a torn flight-recorder window salvaged to a
+	// replayable suffix anchored at its surviving base checkpoint — the
+	// windowed-stream variant of OutcomePrefix.
+	OutcomeWindow
 )
 
 // String names the outcome.
@@ -113,6 +117,8 @@ func (o Outcome) String() string {
 		return "SILENT"
 	case OutcomePrefix:
 		return "prefix"
+	case OutcomeWindow:
+		return "window"
 	}
 	return fmt.Sprintf("outcome(%d)", int(o))
 }

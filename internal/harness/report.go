@@ -23,6 +23,10 @@ type Cell struct {
 	// Prefix counts torn streams salvaged to a verified prefix replay —
 	// the crash sweep's detection point (zero for bundle-mutation cells).
 	Prefix int
+	// Window counts torn flight-recorder windows salvaged to a
+	// replayable suffix anchored at the surviving base checkpoint — the
+	// windowed variant of Prefix (zero outside the windowed crash cells).
+	Window int
 	// Benign counts mutations that replayed to exactly the original
 	// execution (legal alternative serializations); they are re-rolled
 	// and excluded from the detection denominator.
@@ -35,8 +39,9 @@ type Cell struct {
 }
 
 // Detected sums the detection points: decode rejection, replay
-// divergence, verification failure, and verified prefix salvage.
-func (c Cell) Detected() int { return c.Decode + c.Replay + c.Verify + c.Prefix }
+// divergence, verification failure, and verified prefix (or windowed
+// suffix) salvage.
+func (c Cell) Detected() int { return c.Decode + c.Replay + c.Verify + c.Prefix + c.Window }
 
 // MetaResult is one metamorphic property's outcome at one matrix point.
 type MetaResult struct {
@@ -121,12 +126,13 @@ func (r *Report) String() string {
 
 	t := report.Table{
 		Title:   "Fault-injection coverage (single-fault log mutations)",
-		Columns: []string{"workload", "cores", "fault", "injected", "decode", "replay", "verify", "prefix", "benign*", "silent"},
+		Columns: []string{"workload", "cores", "fault", "injected", "decode", "replay", "verify", "prefix", "window", "benign*", "silent"},
 	}
 	for _, c := range r.Cells {
 		t.AddRow(c.Workload, fmt.Sprint(c.Cores), string(c.Class),
 			fmt.Sprint(c.Injected), fmt.Sprint(c.Decode), fmt.Sprint(c.Replay),
-			fmt.Sprint(c.Verify), fmt.Sprint(c.Prefix), fmt.Sprint(c.Benign), fmt.Sprint(c.Silent))
+			fmt.Sprint(c.Verify), fmt.Sprint(c.Prefix), fmt.Sprint(c.Window),
+			fmt.Sprint(c.Benign), fmt.Sprint(c.Silent))
 	}
 	sb.WriteString(t.String())
 	sb.WriteString("  *benign = mutation replayed to exactly the original execution (legal\n" +

@@ -109,6 +109,17 @@ type Config struct {
 	// overhead under 5% of log payload; see experiment A6). Smaller
 	// values tighten the crash-consistency window at the cost of framing.
 	FlushEveryChunks uint64
+	// RetainCheckpoints, when > 0 and streaming, turns StreamTo into a
+	// flight-recorder ring: only the last RetainCheckpoints checkpoint
+	// intervals of the stream are retained, with whole epochs older
+	// than the oldest retained checkpoint garbage-collected, so an
+	// always-on recording runs forever at fixed disk cost. The rendered
+	// window (written at run end, or whatever a crashed recorder's last
+	// render left behind) replays from its base checkpoint exactly like
+	// the tail of the unbounded stream. Requires StreamTo; pointless
+	// without CheckpointEveryInstrs, since the window only rolls at
+	// checkpoint boundaries.
+	RetainCheckpoints uint64
 	// CaptureSignatures retains each chunk's serialized read/write Bloom
 	// signatures alongside the chunk log, for offline conflict screening
 	// (the race detector). Off by default: the captured bytes are an
@@ -253,7 +264,7 @@ type Machine struct {
 	ran            bool
 
 	// Streaming state (nil/zero unless Config.StreamTo is set).
-	stream           *segment.Writer
+	stream           segment.Sink
 	streamEpoch      uint64
 	pendingChunks    uint64
 	streamedChunkPos []int

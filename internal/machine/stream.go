@@ -6,9 +6,14 @@ import (
 
 // initStream opens the segmented stream: the manifest is written
 // immediately so even a recorder that dies before its first flush leaves
-// an identifiable (if empty) stream behind.
+// an identifiable (if empty) stream behind. With RetainCheckpoints set
+// the sink is the windowed ring writer instead of the unbounded one.
 func (m *Machine) initStream() {
-	m.stream = segment.NewWriter(m.cfg.StreamTo)
+	if m.cfg.RetainCheckpoints > 0 {
+		m.stream = segment.NewWindowWriter(m.cfg.StreamTo, int(m.cfg.RetainCheckpoints))
+	} else {
+		m.stream = segment.NewWriter(m.cfg.StreamTo)
+	}
 	m.stream.WriteManifest(segment.Manifest{
 		ProgramName:         m.prog.Name,
 		Threads:             m.cfg.Threads,
@@ -130,7 +135,10 @@ func (m *Machine) streamCheckpoint(ck *Checkpoint) {
 }
 
 // finishStream flushes the last epoch and closes the stream with the
-// reference final state.
+// reference final state. Close renders a windowed sink's retained ring
+// to the underlying writer; for the unbounded writer it is a no-op. The
+// stats therefore always describe the bytes that actually reached
+// Config.StreamTo.
 func (m *Machine) finishStream(res *Result) {
 	if m.stream == nil {
 		return
@@ -142,6 +150,7 @@ func (m *Machine) finishStream(res *Result) {
 		FinalContexts:    res.FinalContexts,
 		RetiredPerThread: res.RetiredPerThread,
 	})
+	m.stream.Close() // errors are sticky; Run surfaces Err after finalize
 	res.StreamSegments = m.stream.Segments()
 	res.StreamBytes = m.stream.TotalBytes()
 	res.StreamFramingBytes = m.stream.FramingBytes()

@@ -88,13 +88,18 @@ type interval struct {
 
 // partition splits the input at its usable checkpoints. It returns nil
 // (caller replays serially) unless parallel replay applies: Workers must
-// resolve to at least 2, Start must be nil (a tail replay is already a
-// single interval), and at least one checkpoint must survive validation.
-// Checkpoints with missing state or with log positions that are
-// non-monotonic or beyond the logs (a salvaged prefix cut them off) are
-// skipped, so truncation always lands in the final interval.
+// resolve to at least 2 and at least one checkpoint must survive
+// validation. Start may be non-nil: a windowed (flight-recorder ring)
+// recording begins at its window-base checkpoint and still partitions at
+// the later surviving checkpoints — interval 0 then starts from Start
+// instead of the program's initial state. A checkpoint whose positions
+// equal the start of the logs (the window base itself, re-listed among
+// the cuts) is skipped as non-advancing. Checkpoints with missing state
+// or with log positions that are non-monotonic or beyond the logs (a
+// salvaged prefix cut them off) are skipped, so truncation always lands
+// in the final interval.
 func partition(in Input) []*interval {
-	if effectiveWorkers(in.Workers) < 2 || in.Start != nil ||
+	if effectiveWorkers(in.Workers) < 2 ||
 		len(in.Checkpoints) == 0 || in.InputLog == nil {
 		return nil
 	}
@@ -116,7 +121,7 @@ func partition(in Input) []*interval {
 	ivs := make([]*interval, 0, len(cuts)+1)
 	base := make([]int, in.Threads) // current cut's chunk positions
 	baseInput := 0
-	var start *StartState
+	start := in.Start // window base (or nil: the program's initial state)
 	for k := 0; k <= len(cuts); k++ {
 		iv := &interval{
 			index:     k,

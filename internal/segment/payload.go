@@ -23,15 +23,39 @@ type Manifest struct {
 	// FlushEveryChunks documents the flush cadence the stream was written
 	// with (informational).
 	FlushEveryChunks uint64
+	// Window is the flight-recorder retention window in checkpoint
+	// intervals; 0 means the stream is unbounded (the default). The
+	// field is flag-gated on the wire, so non-windowed streams encode
+	// exactly as they did before retention existed.
+	Window uint64
+	// BaseCheckpoint marks a windowed stream whose oldest intervals were
+	// garbage-collected: the first segment after the manifest must be
+	// the window-base checkpoint, and every checkpoint's log positions
+	// are relative to that base. Only valid with Window > 0.
+	BaseCheckpoint bool
 }
 
 const manifestVersion = 1
+
+// Manifest flag bits. flagWindowed gates the Window field so legacy
+// (unbounded) streams stay byte-identical.
+const (
+	flagCountReps byte = 1
+	flagWindowed  byte = 2
+	flagHasBase   byte = 4
+)
 
 func appendManifest(a *wire.Appender, m Manifest) {
 	a.Byte(manifestVersion)
 	var flags byte
 	if m.CountRepIterations {
-		flags |= 1
+		flags |= flagCountReps
+	}
+	if m.Window > 0 {
+		flags |= flagWindowed
+	}
+	if m.BaseCheckpoint {
+		flags |= flagHasBase
 	}
 	a.Byte(flags)
 	a.Byte(m.EncodingID)
@@ -39,6 +63,9 @@ func appendManifest(a *wire.Appender, m Manifest) {
 	a.Uvarint(m.StackWordsPerThread)
 	a.Uvarint(m.FlushEveryChunks)
 	a.String(m.ProgramName)
+	if m.Window > 0 {
+		a.Uvarint(m.Window)
+	}
 }
 
 func decodeManifest(data []byte) (Manifest, error) {
@@ -49,10 +76,15 @@ func decodeManifest(data []byte) (Manifest, error) {
 	if data[0] != manifestVersion {
 		return m, fmt.Errorf("%w: manifest version %d", ErrCorrupt, data[0])
 	}
-	if data[1] > 1 {
-		return m, fmt.Errorf("%w: manifest flags %#x", ErrCorrupt, data[1])
+	flags := data[1]
+	if flags > flagCountReps|flagWindowed|flagHasBase {
+		return m, fmt.Errorf("%w: manifest flags %#x", ErrCorrupt, flags)
 	}
-	m.CountRepIterations = data[1]&1 != 0
+	if flags&flagHasBase != 0 && flags&flagWindowed == 0 {
+		return m, fmt.Errorf("%w: manifest base flag without a retention window", ErrCorrupt)
+	}
+	m.CountRepIterations = flags&flagCountReps != 0
+	m.BaseCheckpoint = flags&flagHasBase != 0
 	m.EncodingID = data[2]
 	rd := newReader(data)
 	rd.Skip(3)
@@ -75,6 +107,14 @@ func decodeManifest(data []byte) (Manifest, error) {
 		return m, err
 	}
 	m.ProgramName = string(name)
+	if flags&flagWindowed != 0 {
+		if m.Window, err = rd.Uvarint(); err != nil {
+			return m, err
+		}
+		if m.Window == 0 {
+			return m, fmt.Errorf("%w: windowed manifest with zero retention window", ErrCorrupt)
+		}
+	}
 	if err := rd.Done(); err != nil {
 		return m, err
 	}

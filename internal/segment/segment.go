@@ -123,6 +123,11 @@ func NewWriter(w io.Writer) *Writer {
 // Err returns the first underlying write or usage error, if any.
 func (w *Writer) Err() error { return w.err }
 
+// Close implements Sink. The unbounded writer emits segments as they
+// arrive, so there is nothing to flush; Close just reports the sticky
+// error state.
+func (w *Writer) Close() error { return w.err }
+
 // Segments returns the number of segments written so far.
 func (w *Writer) Segments() int { return w.segments }
 

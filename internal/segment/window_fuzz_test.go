@@ -1,0 +1,138 @@
+package segment_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/segment"
+)
+
+// corpusWindow renders a windowed stream — k-interval retention over n
+// checkpoints of the synthetic session — for seeding the fuzzer.
+func corpusWindow(k, n int, seed uint64) []byte {
+	var bufU, bufW bytes.Buffer
+	wu := segment.NewWriter(&bufU)
+	ww := segment.NewWindowWriter(&bufW, k)
+	synthesize(seed, n, &bufU, wu, ww)
+	if err := wu.Close(); err != nil {
+		panic(err)
+	}
+	if err := ww.Close(); err != nil {
+		panic(err)
+	}
+	return bufW.Bytes()
+}
+
+// FuzzWindowedStream feeds mutated flight-recorder window dumps to the
+// salvage scanner. Whatever the bytes, salvage must not panic and must
+// either fail with a typed ErrTruncated/ErrCorrupt error or produce a
+// valid window: a reported base checkpoint really present with its log
+// positions rebased to zero, complete streams acceptable to the strict
+// decoder, and a second salvage pass reproducing the first (recovery
+// must be idempotent or a re-run could change the replayed execution).
+func FuzzWindowedStream(f *testing.F) {
+	evicted := corpusWindow(2, 5, 1) // base checkpoint present
+	f.Add(evicted)
+	f.Add(corpusWindow(8, 2, 2))    // nothing evicted: genesis window
+	f.Add(corpusWindow(1, 6, 3))    // tightest ring
+	f.Add(evicted[:len(evicted)-7]) // torn mid-final (open-interval crash)
+	offs := segment.Offsets(evicted)
+	if len(offs) > 2 {
+		flip := append([]byte(nil), evicted...)
+		flip[offs[0]+(offs[1]-offs[0])/2] ^= 0x10 // corrupt the base checkpoint
+		f.Add(flip)
+		f.Add(evicted[:offs[0]]) // manifest only: base lost
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, rep, err := segment.Salvage(data)
+		if err != nil {
+			if !errors.Is(err, chunk.ErrTruncated) && !errors.Is(err, chunk.ErrCorrupt) {
+				t.Fatalf("untyped salvage error: %v", err)
+			}
+			return
+		}
+		if rep.HasBase {
+			if st.Base == nil {
+				t.Fatal("report claims a window base but the stream has none")
+			}
+			for th, pos := range st.Base.ChunkPos {
+				if pos != 0 {
+					t.Fatalf("window base chunk pos[%d] = %d, want 0", th, pos)
+				}
+			}
+			if st.Base.InputPos != 0 {
+				t.Fatalf("window base input pos = %d, want 0", st.Base.InputPos)
+			}
+			if len(st.Checkpoints) > 0 && st.Checkpoints[0] != st.Base {
+				t.Fatal("window base does not alias the first surviving checkpoint")
+			}
+		} else if st.Base != nil {
+			t.Fatal("stream carries a base the report does not claim")
+		}
+		if rep.Window == 0 && rep.HasBase {
+			t.Fatal("base checkpoint on an un-windowed stream")
+		}
+		if rep.Complete {
+			if _, err := segment.Decode(data[:rep.BytesKept]); err != nil {
+				t.Fatalf("complete windowed salvage rejected by strict decode: %v", err)
+			}
+		}
+		again, rep2, err := segment.Salvage(data[:rep.BytesKept])
+		if err != nil {
+			t.Fatalf("re-salvage of kept window prefix failed: %v", err)
+		}
+		if rep2.BytesKept != rep.BytesKept || rep2.HasBase != rep.HasBase {
+			t.Fatalf("re-salvage diverged: kept %d/%d bytes, base %v/%v",
+				rep2.BytesKept, rep.BytesKept, rep2.HasBase, rep.HasBase)
+		}
+		for th := range st.ChunkLogs {
+			if again.ChunkLogs[th].Len() != st.ChunkLogs[th].Len() {
+				t.Fatalf("re-salvage changed thread %d entry count", th)
+			}
+		}
+		if again.InputLog.Len() != st.InputLog.Len() {
+			t.Fatal("re-salvage changed input count")
+		}
+	})
+}
+
+// TestWindowFuzzCorpus regenerates the checked-in corpus under
+// testdata/fuzz/FuzzWindowedStream when REGEN_CORPUS=1 is set; otherwise
+// it only checks the seeds are present and well-formed.
+func TestWindowFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzWindowedStream")
+	evicted := corpusWindow(2, 5, 1)
+	offs := segment.Offsets(evicted)
+	flip := append([]byte(nil), evicted...)
+	flip[offs[0]+(offs[1]-offs[0])/2] ^= 0x10
+	seeds := map[string][]byte{
+		"seed-evicted-window": evicted,
+		"seed-genesis-window": corpusWindow(8, 2, 2),
+		"seed-tight-ring":     corpusWindow(1, 6, 3),
+		"seed-torn-open":      evicted[:len(evicted)-7],
+		"seed-corrupt-base":   flip,
+		"seed-base-lost":      evicted[:offs[0]],
+	}
+	if os.Getenv("REGEN_CORPUS") == "1" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for name := range seeds {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("corpus seed missing (run with REGEN_CORPUS=1 to regenerate): %v", err)
+		}
+	}
+}

@@ -142,6 +142,16 @@ func AppSuite() []Spec {
 			Description: "worker threads service external requests against a bucket-locked KV table",
 			Build:       func(t int) *isa.Program { return KVServer(120, 32, t) },
 		},
+		{
+			Name: "reqserver", Kind: "app",
+			Description: "request loop over a futex-locked bounded ring with bucket-locked stats",
+			Build:       func(t int) *isa.Program { return ReqServer(48, 4, 16, t) },
+		},
+		{
+			Name: "sigserver", Kind: "app",
+			Description: "signal-driven request loop: sustained syscalls with async handler traffic",
+			Build:       func(t int) *isa.Program { return SigServer(64, t) },
+		},
 	}
 }
 

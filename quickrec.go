@@ -138,6 +138,14 @@ type Options struct {
 	// chunks (0 = the default, 1024). Smaller values tighten the
 	// crash-consistency window at the cost of framing overhead.
 	FlushEveryChunks uint64
+	// RetainCheckpoints, when > 0, turns StreamRecord into a flight
+	// recorder: only the last RetainCheckpoints checkpoint intervals are
+	// retained (older epochs are garbage-collected), so an always-on
+	// recording runs at fixed disk cost. The stream then replays from
+	// its oldest surviving checkpoint rather than program start. Only
+	// meaningful with CheckpointEveryInstrs, since the window rolls at
+	// checkpoint boundaries; ignored by Record, which keeps no stream.
+	RetainCheckpoints uint64
 	// CaptureSignatures keeps each chunk's serialized read/write Bloom
 	// signatures in the recording, enabling the offline race detector
 	// (Races). Off by default: the signatures are an analysis artefact,
@@ -166,6 +174,7 @@ func (o Options) config(mode machine.RecordingMode) (machine.Config, error) {
 	cfg.SignalPeriodInstrs = o.SignalPeriodInstrs
 	cfg.CheckpointEveryInstrs = o.CheckpointEveryInstrs
 	cfg.FlushEveryChunks = o.FlushEveryChunks
+	cfg.RetainCheckpoints = o.RetainCheckpoints
 	cfg.CaptureSignatures = o.CaptureSignatures
 	if o.Encoding != "" {
 		var found bool
