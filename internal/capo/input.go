@@ -67,6 +67,16 @@ func (r Record) String() string {
 	return fmt.Sprintf("record{kind=%d}", r.Kind)
 }
 
+// Clone returns a deep copy of the record: Data gets its own backing
+// array, so the copy stays stable even if the caller keeps mutating the
+// original's buffer (the recorder's live syscall-data arena, say).
+func (r Record) Clone() Record {
+	if r.Data != nil {
+		r.Data = append([]byte(nil), r.Data...)
+	}
+	return r
+}
+
 // EncodedSize returns the record's serialized size in bytes, used for
 // log-volume accounting (F4).
 func (r Record) EncodedSize() int {

@@ -2,6 +2,8 @@ package harness
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -10,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/races"
 	"repro/internal/workload"
 )
@@ -35,8 +38,11 @@ type BenchResult struct {
 
 // BaselineWorkloads is the committed baseline's workload set; the guard
 // measures exactly these. codec:counter times the bundle wire round
-// trip, so the baseline pins the wire layer's allocation profile.
-var BaselineWorkloads = []string{"counter", "ioheavy", "repcopy", "screen:racy", "replay:par", "screen:par", "codec:counter", "flight:window"}
+// trip, so the baseline pins the wire layer's allocation profile;
+// ingest:fanin pushes a 64-uploader fleet through a loopback ingest
+// server, so it pins the service path end to end (framing, sharding,
+// store, verification).
+var BaselineWorkloads = []string{"counter", "ioheavy", "repcopy", "screen:racy", "replay:par", "screen:par", "codec:counter", "flight:window", "ingest:fanin"}
 
 // allocMeter samples the runtime's allocation counters around a measured
 // loop. The harness is library code, so it cannot use testing.B's
@@ -247,6 +253,141 @@ func MeasureWindowThroughput(threads, cores, runs int) (*BenchResult, error) {
 	return res, nil
 }
 
+// benchFaninUploaders is the ingest benchmark's fleet size, and
+// benchFaninStreams how many distinct seed-variant recordings the fleet
+// uploads (content addressing deduplicates identical uploads, so
+// distinct streams keep the store and verifier pool honest).
+const (
+	benchFaninUploaders = 64
+	benchFaninStreams   = 4
+)
+
+// MeasureIngestFanin records benchFaninStreams seed-variant counter
+// workloads, then times a benchFaninUploaders-strong uploader fleet
+// pushing them through a loopback ingest server — framing, credit flow
+// control, tenant sharding, content-addressed store and background
+// verification included; a run only counts once every stored bundle's
+// verdict is published. Throughput is recorded instructions ingested
+// and verified per second of host wall time; StreamBytes is the bytes
+// the fleet pushed per run. The measurement doubles as a correctness
+// gate: any lost, failed or non-accepted upload fails the bench.
+func MeasureIngestFanin(threads, cores, runs int) (*BenchResult, error) {
+	var streams [][]byte
+	distinct := make(map[string]bool)
+	var instrsPerStream []uint64
+	for s := 0; s < benchFaninStreams; s++ {
+		data, err := ingest.RecordWorkloadStream("counter", threads, uint64(s+1))
+		if err != nil {
+			return nil, err
+		}
+		sv, err := core.SalvageStream(data)
+		if err != nil {
+			return nil, fmt.Errorf("harness: bench ingest stream did not salvage: %w", err)
+		}
+		var instrs uint64
+		for _, r := range sv.Bundle.RetiredPerThread {
+			instrs += r
+		}
+		streams = append(streams, data)
+		instrsPerStream = append(instrsPerStream, instrs)
+		sum := sha256.Sum256(data)
+		distinct[hex.EncodeToString(sum[:])] = true
+	}
+	var instrs, pushedBytes uint64
+	for i := 0; i < benchFaninUploaders; i++ {
+		instrs += instrsPerStream[i%benchFaninStreams]
+		pushedBytes += uint64(len(streams[i%benchFaninStreams]))
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	res := &BenchResult{Workload: "ingest:fanin", Threads: threads, Cores: cores,
+		Instrs: instrs, StreamBytes: pushedBytes}
+	var meter allocMeter
+	meter.start()
+	for i := 0; i < runs; i++ {
+		// A fresh store per run: re-running against a populated store would
+		// measure the dedupe fast path instead of ingest.
+		dir, err := os.MkdirTemp("", "quickrec-fanin-")
+		if err != nil {
+			return nil, err
+		}
+		cfg := ingest.DefaultConfig()
+		cfg.StoreDir = dir
+		srv, err := ingest.NewServer(cfg)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		go srv.Serve()
+		start := time.Now()
+		lg, err := ingest.Loadgen(ingest.LoadgenConfig{
+			Addr:       srv.Addr(),
+			Uploaders:  benchFaninUploaders,
+			UploadsPer: 1,
+			Tenants:    []string{"bench-0", "bench-1", "bench-2", "bench-3"},
+			Streams:    streams,
+			Attempts:   5,
+			Backoff:    10 * time.Millisecond,
+		})
+		if err == nil {
+			srv.WaitIdle()
+		}
+		elapsed := time.Since(start)
+		var verr error
+		if err == nil {
+			verr = checkFaninRun(srv, lg, distinct)
+		}
+		srv.Close()
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		if verr != nil {
+			return nil, verr
+		}
+		if tput := float64(instrs) / elapsed.Seconds(); tput > res.InstrsPerSec {
+			res.InstrsPerSec = tput
+		}
+	}
+	meter.stop(res, runs)
+	return res, nil
+}
+
+// checkFaninRun asserts the ingest benchmark's correctness half: no
+// lost or failed uploads, exactly the distinct bundles stored, every
+// verdict accepted.
+func checkFaninRun(srv *ingest.Server, lg *ingest.LoadgenResult, distinct map[string]bool) error {
+	if lg.Failures > 0 {
+		return fmt.Errorf("harness: ingest bench lost %d uploads", lg.Failures)
+	}
+	if lg.Uploads != benchFaninUploaders {
+		return fmt.Errorf("harness: ingest bench acked %d of %d uploads", lg.Uploads, benchFaninUploaders)
+	}
+	stored, err := srv.Store().List()
+	if err != nil {
+		return err
+	}
+	if len(stored) != len(distinct) {
+		return fmt.Errorf("harness: ingest bench stored %d bundles, want %d distinct", len(stored), len(distinct))
+	}
+	for _, d := range stored {
+		if !distinct[d] {
+			return fmt.Errorf("harness: ingest bench stored unexpected bundle %s", d)
+		}
+	}
+	ctrs := srv.Counters()
+	for _, st := range []ingest.VerdictStatus{ingest.StatusTorn, ingest.StatusDiverged, ingest.StatusUnverifiable} {
+		if n := ctrs.VerdictsBy[st]; n != 0 {
+			return fmt.Errorf("harness: ingest bench published %d %s verdicts", n, st)
+		}
+	}
+	if ctrs.VerdictsBy[ingest.StatusAccepted] == 0 {
+		return fmt.Errorf("harness: ingest bench published no accepted verdicts")
+	}
+	return nil
+}
+
 // MeasureCodecThroughput records the named workload once, then times
 // runs full bundle serialization round trips (Marshal plus
 // UnmarshalBundle). Instrs is the recorded instruction count, so
@@ -299,6 +440,8 @@ func measureWorkload(name string, threads, cores, runs int) (*BenchResult, error
 		return MeasureScreenThroughput("racy", threads, cores, 4, runs)
 	case "flight:window":
 		return MeasureWindowThroughput(threads, cores, runs)
+	case "ingest:fanin":
+		return MeasureIngestFanin(threads, cores, runs)
 	}
 	if rest, ok := strings.CutPrefix(name, "screen:"); ok {
 		return MeasureScreenThroughput(rest, threads, cores, 0, runs)

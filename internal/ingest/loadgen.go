@@ -1,0 +1,99 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// LoadgenConfig shapes a fan-in load generation run: N concurrent
+// uploaders replaying recorded workload bundles against one server.
+type LoadgenConfig struct {
+	// Addr is the target ingest server.
+	Addr string
+	// Uploaders is the number of concurrent uploader goroutines.
+	Uploaders int
+	// UploadsPer is how many uploads each uploader performs.
+	UploadsPer int
+	// Tenants is the tenant-ID pool; uploader i claims Tenants[i%len].
+	Tenants []string
+	// Streams is the pool of recorded stream images; uploader i's j-th
+	// upload sends Streams[(i+j)%len].
+	Streams [][]byte
+	// Attempts and Backoff parameterize the shed-retry loop.
+	Attempts int
+	Backoff  time.Duration
+	// TornEvery makes every TornEvery-th session (per uploader) a torn
+	// upload: the stream is cut at half its length and the connection
+	// severed without FINISH. 0 disables torn sessions.
+	TornEvery int
+}
+
+// LoadgenResult aggregates a load generation run.
+type LoadgenResult struct {
+	Uploads    int    // acked uploads
+	Duplicates int    // acks that deduplicated against the store
+	Torn       int    // deliberately severed sessions
+	Retries    int    // shed-and-retried attempts
+	Failures   int    // uploads that exhausted their attempts
+	Bytes      uint64 // payload bytes acked
+	Elapsed    time.Duration
+	Digests    map[string]int // acked digest -> ack count
+}
+
+// Loadgen runs the fan-in load: cfg.Uploaders goroutines, each
+// performing cfg.UploadsPer uploads with retry-on-shed, a fixed share
+// of them torn. It returns aggregate counts; the server's own counters
+// tell the other half of the story.
+func Loadgen(cfg LoadgenConfig) (*LoadgenResult, error) {
+	if cfg.Uploaders < 1 || cfg.UploadsPer < 1 || len(cfg.Streams) == 0 {
+		return nil, fmt.Errorf("ingest: loadgen needs uploaders, uploads and streams")
+	}
+	if len(cfg.Tenants) == 0 {
+		cfg.Tenants = []string{"loadgen"}
+	}
+	if cfg.Attempts < 1 {
+		cfg.Attempts = 1
+	}
+
+	res := &LoadgenResult{Digests: make(map[string]int)}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Uploaders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := cfg.Tenants[i%len(cfg.Tenants)]
+			for j := 0; j < cfg.UploadsPer; j++ {
+				stream := cfg.Streams[(i+j)%len(cfg.Streams)]
+				if cfg.TornEvery > 0 && (i*cfg.UploadsPer+j)%cfg.TornEvery == cfg.TornEvery-1 {
+					if c, err := Dial(cfg.Addr); err == nil {
+						c.UploadTorn(tenant, stream, len(stream)/2)
+					}
+					mu.Lock()
+					res.Torn++
+					mu.Unlock()
+					continue
+				}
+				digest, dup, retries, err := Upload(cfg.Addr, tenant, stream, cfg.Attempts, cfg.Backoff)
+				mu.Lock()
+				res.Retries += retries
+				if err != nil {
+					res.Failures++
+				} else {
+					res.Uploads++
+					res.Bytes += uint64(len(stream))
+					res.Digests[digest]++
+					if dup {
+						res.Duplicates++
+					}
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,172 @@
+package ingest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// verifyJob is one stored bundle awaiting verification.
+type verifyJob struct {
+	tenant string
+	digest string
+	data   []byte
+}
+
+// verifierPool drains stored uploads in the background: each worker
+// salvages the stream, rebuilds the recorded program from the manifest's
+// name, replays it with the checkpoint-partitioned parallel replayer,
+// and publishes a verdict. The queue is an in-memory list fed by shard
+// workers — enqueue never blocks the ingest data path; the measured
+// queue depth is the backlog signal.
+type verifierPool struct {
+	workers int
+	replayW int // Workers passed to core.ReplayWorkers
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []verifyJob
+	stop  bool
+	busy  int
+
+	wg       sync.WaitGroup
+	verdicts *verdictBoard
+}
+
+func newVerifierPool(workers, replayWorkers int, board *verdictBoard) *verifierPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &verifierPool{workers: workers, replayW: replayWorkers, verdicts: board}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.run()
+	}
+	return p
+}
+
+// enqueue hands a stored bundle to the pool. Never blocks.
+func (p *verifierPool) enqueue(j verifyJob) {
+	p.mu.Lock()
+	p.queue = append(p.queue, j)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// depth returns the number of bundles waiting (not counting in-flight).
+func (p *verifierPool) depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// waitIdle blocks until the queue is drained and no worker is mid-job.
+func (p *verifierPool) waitIdle() {
+	p.mu.Lock()
+	for len(p.queue) > 0 || p.busy > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// close drains the queue and stops the workers.
+func (p *verifierPool) close() {
+	p.mu.Lock()
+	p.stop = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+func (p *verifierPool) run() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.stop {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 && p.stop {
+			p.mu.Unlock()
+			return
+		}
+		j := p.queue[0]
+		p.queue = p.queue[1:]
+		p.busy++
+		p.mu.Unlock()
+
+		v := verifyBundle(j, p.replayW)
+		p.verdicts.publish(v)
+
+		p.mu.Lock()
+		p.busy--
+		p.mu.Unlock()
+		p.cond.Broadcast() // wake waitIdle as well as workers
+	}
+}
+
+// programByName rebuilds the recorded program from a bundle's manifest
+// name: catalogue workloads resolve through the suite, fuzz programs
+// ("fuzz-<seed>") regenerate from their seed.
+func programByName(name string, threads int) (*isa.Program, error) {
+	if spec, ok := workload.ByName(name); ok {
+		return spec.Build(threads), nil
+	}
+	if s, ok := strings.CutPrefix(name, "fuzz-"); ok {
+		seed, err := strconv.ParseUint(s, 10, 64)
+		if err == nil {
+			return workload.RandomProgram(seed, threads), nil
+		}
+	}
+	return nil, fmt.Errorf("ingest: program %q not in the workload catalogue", name)
+}
+
+// verifyBundle is the whole per-bundle pipeline: salvage, rebuild,
+// replay, compare. It never fails the ingest path — every outcome is a
+// verdict.
+func verifyBundle(j verifyJob, replayWorkers int) Verdict {
+	v := Verdict{Tenant: j.tenant, Digest: j.digest}
+	sv, err := core.SalvageStream(j.data)
+	if err != nil {
+		v.Status = StatusDiverged
+		v.Detail = fmt.Sprintf("salvage: %v", err)
+		return v
+	}
+	b := sv.Bundle
+	v.Program = b.ProgramName
+	v.Threads = b.Threads
+	prog, err := programByName(b.ProgramName, b.Threads)
+	if err != nil {
+		v.Status = StatusUnverifiable
+		v.Detail = err.Error()
+		return v
+	}
+	rr, err := core.ReplayWorkers(prog, b, replayWorkers)
+	if err != nil {
+		v.Status = StatusDiverged
+		v.Detail = fmt.Sprintf("replay: %v", err)
+		return v
+	}
+	v.Steps = rr.Steps
+	v.MemChecksum = rr.MemChecksum
+	if b.Partial {
+		// A torn upload (or torn recording) salvages to a validated prefix
+		// with no reference final state: the prefix replayed cleanly, which
+		// is all that can be asserted.
+		v.Status = StatusTorn
+		v.Detail = sv.Report.Reason
+		return v
+	}
+	if err := core.Verify(b, rr); err != nil {
+		v.Status = StatusDiverged
+		v.Detail = err.Error()
+		return v
+	}
+	v.Status = StatusAccepted
+	return v
+}

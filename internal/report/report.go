@@ -66,6 +66,31 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
+// KV is a titled two-column name/value listing — the /statsz idiom for
+// counter snapshots. It renders through the same aligned-Table machinery
+// as the benchmark grids.
+type KV struct {
+	Title string
+	pairs [][2]string
+}
+
+// Add appends one name/value pair.
+func (kv *KV) Add(name, value string) {
+	kv.pairs = append(kv.pairs, [2]string{name, value})
+}
+
+// AddUint appends one name/count pair.
+func (kv *KV) AddUint(name string, v uint64) { kv.Add(name, U(v)) }
+
+// String renders the listing.
+func (kv *KV) String() string {
+	t := Table{Title: kv.Title, Columns: []string{"name", "value"}}
+	for _, p := range kv.pairs {
+		t.AddRow(p[0], p[1])
+	}
+	return t.String()
+}
+
 // Pct formats a fraction as a percentage.
 func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
 

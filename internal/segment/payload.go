@@ -221,6 +221,22 @@ type CheckpointPayload struct {
 	InputPos int
 }
 
+// Clone returns a deep copy: every slice (memory image, output, contexts,
+// per-thread state, log positions) gets its own backing array. The
+// windowed sink buffers checkpoint payloads across whole retention
+// intervals, so it must not alias buffers the recorder keeps mutating.
+func (cp *CheckpointPayload) Clone() *CheckpointPayload {
+	out := *cp
+	out.MemImage = append([]byte(nil), cp.MemImage...)
+	out.Output = append([]byte(nil), cp.Output...)
+	out.Contexts = append([]isa.Context(nil), cp.Contexts...)
+	out.Exited = append([]bool(nil), cp.Exited...)
+	out.SigRegs = append([][isa.NumRegs]uint64(nil), cp.SigRegs...)
+	out.SigPC = append([]int(nil), cp.SigPC...)
+	out.ChunkPos = append([]int(nil), cp.ChunkPos...)
+	return &out
+}
+
 func appendCheckpointPayload(a *wire.Appender, cp *CheckpointPayload) {
 	a.Uvarint(cp.RetiredAt)
 	a.Blob(cp.MemImage)
@@ -326,6 +342,16 @@ type FinalPayload struct {
 	Output           []byte
 	FinalContexts    []isa.Context
 	RetiredPerThread []uint64
+}
+
+// Clone returns a deep copy of the final payload; same aliasing contract
+// as CheckpointPayload.Clone.
+func (f *FinalPayload) Clone() *FinalPayload {
+	out := *f
+	out.Output = append([]byte(nil), f.Output...)
+	out.FinalContexts = append([]isa.Context(nil), f.FinalContexts...)
+	out.RetiredPerThread = append([]uint64(nil), f.RetiredPerThread...)
+	return &out
 }
 
 func appendFinalPayload(a *wire.Appender, f *FinalPayload) {

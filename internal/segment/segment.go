@@ -79,6 +79,11 @@ var (
 	// ErrCorrupt reports a stream that fails structural validation or a
 	// checksum.
 	ErrCorrupt = fmt.Errorf("segment: corrupt stream: %w", chunk.ErrCorrupt)
+	// ErrClosed reports a Write* call on a closed Sink. The violation is
+	// sticky: once tripped, the sink's Err reports it forever, so a
+	// recorder that keeps flushing into a closed stream cannot silently
+	// lose epochs.
+	ErrClosed = fmt.Errorf("segment: sink is closed")
 )
 
 var streamMagic = [4]byte{'Q', 'R', 'S', 'G'}
@@ -101,6 +106,7 @@ type Writer struct {
 	w       io.Writer
 	err     error
 	seq     uint32
+	closed  bool
 	scratch []byte
 
 	enc     chunk.Encoding
@@ -124,9 +130,27 @@ func NewWriter(w io.Writer) *Writer {
 func (w *Writer) Err() error { return w.err }
 
 // Close implements Sink. The unbounded writer emits segments as they
-// arrive, so there is nothing to flush; Close just reports the sticky
-// error state.
-func (w *Writer) Close() error { return w.err }
+// arrive, so there is nothing to flush; Close marks the writer finished
+// and reports the sticky error state. Any Write* after Close is a usage
+// error (ErrClosed) — before the closed state existed, such calls kept
+// appending segments past the recorder's lifecycle without a trace.
+func (w *Writer) Close() error {
+	w.closed = true
+	return w.err
+}
+
+// usable gates every Write*: false once an error is pending or the
+// writer was closed. Writing after Close trips the sticky ErrClosed.
+func (w *Writer) usable() bool {
+	if w.err != nil {
+		return false
+	}
+	if w.closed {
+		w.err = fmt.Errorf("segment: write after Close: %w", ErrClosed)
+		return false
+	}
+	return true
+}
 
 // Segments returns the number of segments written so far.
 func (w *Writer) Segments() int { return w.segments }
@@ -172,12 +196,15 @@ func (w *Writer) writeSegment(kind Kind, payload []byte) {
 
 // WriteManifest opens the stream. It must be the first segment.
 func (w *Writer) WriteManifest(m Manifest) {
-	if w.err == nil && w.seq != 0 {
+	if !w.usable() {
+		return
+	}
+	if w.seq != 0 {
 		w.err = fmt.Errorf("segment: manifest must be the first segment (seq %d)", w.seq)
 		return
 	}
 	enc, err := chunk.ByID(m.EncodingID)
-	if w.err == nil && err != nil {
+	if err != nil {
 		w.err = err
 		return
 	}
@@ -191,8 +218,15 @@ func (w *Writer) WriteManifest(m Manifest) {
 
 // WriteCommit opens a flush epoch.
 func (w *Writer) WriteCommit(c Commit) {
-	if w.err == nil && (len(c.Watermark) != w.threads || len(c.Exited) != w.threads ||
-		len(c.ChunkCount) != w.threads || len(c.InputCount) != w.threads) {
+	if !w.usable() {
+		return
+	}
+	if w.enc == nil {
+		w.err = fmt.Errorf("segment: commit before manifest")
+		return
+	}
+	if len(c.Watermark) != w.threads || len(c.Exited) != w.threads ||
+		len(c.ChunkCount) != w.threads || len(c.InputCount) != w.threads {
 		w.err = fmt.Errorf("segment: commit arrays do not match %d threads", w.threads)
 		return
 	}
@@ -206,7 +240,10 @@ func (w *Writer) WriteCommit(c Commit) {
 // restarts at each batch (the first entry carries an absolute
 // timestamp), so every batch decodes independently.
 func (w *Writer) WriteChunkBatch(thread int, entries []chunk.Entry) {
-	if w.err == nil && w.enc == nil {
+	if !w.usable() {
+		return
+	}
+	if w.enc == nil {
 		w.err = fmt.Errorf("segment: chunk batch before manifest")
 		return
 	}
@@ -224,6 +261,13 @@ func (w *Writer) WriteChunkBatch(thread int, entries []chunk.Entry) {
 
 // WriteInputBatch emits the epoch's pending input records.
 func (w *Writer) WriteInputBatch(recs []capo.Record) {
+	if !w.usable() {
+		return
+	}
+	if w.enc == nil {
+		w.err = fmt.Errorf("segment: input batch before manifest")
+		return
+	}
 	p := wire.GetAppender()
 	defer wire.PutAppender(p)
 	capo.AppendRecords(p, recs)
@@ -232,6 +276,18 @@ func (w *Writer) WriteInputBatch(recs []capo.Record) {
 
 // WriteCheckpoint emits a flight-recorder snapshot.
 func (w *Writer) WriteCheckpoint(cp *CheckpointPayload) {
+	if !w.usable() {
+		return
+	}
+	if w.enc == nil {
+		w.err = fmt.Errorf("segment: checkpoint before manifest")
+		return
+	}
+	if len(cp.ChunkPos) != w.threads {
+		w.err = fmt.Errorf("segment: checkpoint has %d chunk positions for %d threads",
+			len(cp.ChunkPos), w.threads)
+		return
+	}
 	p := wire.GetAppender()
 	defer wire.PutAppender(p)
 	appendCheckpointPayload(p, cp)
@@ -240,6 +296,13 @@ func (w *Writer) WriteCheckpoint(cp *CheckpointPayload) {
 
 // WriteFinal closes the stream with the reference final state.
 func (w *Writer) WriteFinal(f *FinalPayload) {
+	if !w.usable() {
+		return
+	}
+	if w.enc == nil {
+		w.err = fmt.Errorf("segment: final before manifest")
+		return
+	}
 	p := wire.GetAppender()
 	defer wire.PutAppender(p)
 	appendFinalPayload(p, f)

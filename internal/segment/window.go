@@ -124,9 +124,23 @@ func (w *WindowWriter) FramingBytes() uint64 { return w.framingBytes }
 // open returns the interval new epochs belong to.
 func (w *WindowWriter) open() *windowInterval { return w.intervals[len(w.intervals)-1] }
 
+// usable gates every Write*: false once an error is pending or the sink
+// was closed. Writing after Close is a usage error and becomes sticky,
+// exactly like the unbounded Writer's guard.
+func (w *WindowWriter) usable() bool {
+	if w.err != nil {
+		return false
+	}
+	if w.closed {
+		w.err = fmt.Errorf("segment: windowed write after Close: %w", ErrClosed)
+		return false
+	}
+	return true
+}
+
 // WriteManifest opens the stream. It must be the first call.
 func (w *WindowWriter) WriteManifest(m Manifest) {
-	if w.err != nil {
+	if !w.usable() {
 		return
 	}
 	if w.haveMan {
@@ -144,7 +158,7 @@ func (w *WindowWriter) WriteManifest(m Manifest) {
 
 // WriteCommit opens a buffered flush epoch in the current interval.
 func (w *WindowWriter) WriteCommit(c Commit) {
-	if w.err != nil {
+	if !w.usable() {
 		return
 	}
 	if !w.haveMan {
@@ -170,7 +184,7 @@ func (w *WindowWriter) WriteCommit(c Commit) {
 // WriteChunkBatch buffers thread's chunk entries into the open epoch.
 // The entries are copied: callers may pass live log slices.
 func (w *WindowWriter) WriteChunkBatch(thread int, entries []chunk.Entry) {
-	if w.err != nil {
+	if !w.usable() {
 		return
 	}
 	if !w.haveMan {
@@ -190,9 +204,12 @@ func (w *WindowWriter) WriteChunkBatch(thread int, entries []chunk.Entry) {
 	e.batches = append(e.batches, windowBatch{thread: thread, entries: append([]chunk.Entry(nil), entries...)})
 }
 
-// WriteInputBatch buffers the open epoch's input records (copied).
+// WriteInputBatch buffers the open epoch's input records. The records
+// are deep-copied — including each syscall record's Data bytes, which
+// otherwise alias the recorder's live syscall-data arena — so buffered
+// epochs stay stable however long they sit in the window.
 func (w *WindowWriter) WriteInputBatch(recs []capo.Record) {
-	if w.err != nil {
+	if !w.usable() {
 		return
 	}
 	if !w.haveMan {
@@ -205,14 +222,16 @@ func (w *WindowWriter) WriteInputBatch(recs []capo.Record) {
 		return
 	}
 	e := &iv.epochs[len(iv.epochs)-1]
-	e.inputs = append(e.inputs, recs...)
+	for _, r := range recs {
+		e.inputs = append(e.inputs, r.Clone())
+	}
 }
 
 // WriteCheckpoint closes the current interval and opens the next one,
 // anchored at cp, then garbage-collects intervals that fell out of the
 // retention window.
 func (w *WindowWriter) WriteCheckpoint(cp *CheckpointPayload) {
-	if w.err != nil {
+	if !w.usable() {
 		return
 	}
 	if !w.haveMan {
@@ -224,7 +243,10 @@ func (w *WindowWriter) WriteCheckpoint(cp *CheckpointPayload) {
 			len(cp.ChunkPos), w.man.Threads)
 		return
 	}
-	w.intervals = append(w.intervals, &windowInterval{anchor: cp})
+	// Deep-copied for the same reason as input batches: the anchor is
+	// buffered until its interval leaves the window, and its memory image,
+	// output and position slices must not track the caller's buffers.
+	w.intervals = append(w.intervals, &windowInterval{anchor: cp.Clone()})
 	w.evict()
 }
 
@@ -253,14 +275,14 @@ func (w *WindowWriter) evict() {
 // WriteFinal records the reference final state; rendered as the
 // window's last segment.
 func (w *WindowWriter) WriteFinal(f *FinalPayload) {
-	if w.err != nil {
+	if !w.usable() {
 		return
 	}
 	if !w.haveMan {
 		w.err = fmt.Errorf("segment: final before manifest")
 		return
 	}
-	w.final = f
+	w.final = f.Clone()
 }
 
 // rebase returns cp with its log positions made relative to the window
