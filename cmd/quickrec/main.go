@@ -106,6 +106,7 @@ func cmdRecord(args []string) error {
 	stream := fs.String("stream", "", "also write the crash-consistent segmented stream to this file")
 	flush := fs.Uint64("flush", 0, "stream flush cadence in chunks (0 = default)")
 	window := fs.Uint64("window", 0, "flight-recorder retention: keep only the last K checkpoint intervals of the stream (0 = keep everything; needs -stream and -ckpt)")
+	compress := fs.Bool("compress", false, "LZ-compress the stream's chunk/input batches (needs -stream; streams need a post-v2 reader)")
 	fs.Parse(args)
 	if (*name == "" && *progPath == "") || *out == "" {
 		return fmt.Errorf("record needs -w or -prog, and -o")
@@ -125,9 +126,12 @@ func cmdRecord(args []string) error {
 	if *name == "" {
 		*name = prog.Name
 	}
+	if *compress && *stream == "" {
+		return fmt.Errorf("-compress applies to the segmented stream; it needs -stream FILE")
+	}
 	opts := quickrec.Options{Threads: *threads, Seed: *seed, HardwareOnly: *hw,
 		CaptureSignatures: *sigs, CheckpointEveryInstrs: *ckpt, FlushEveryChunks: *flush,
-		RetainCheckpoints: *window}
+		RetainCheckpoints: *window, CompressStream: *compress}
 	var rec *quickrec.Recording
 	if *stream != "" {
 		f, err := os.Create(*stream)
@@ -233,15 +237,14 @@ func loadProgram(name, progPath string, threads int) (*quickrec.Program, error) 
 	return quickrec.BuildWorkload(name, threads)
 }
 
-func loadRecording(fs *flag.FlagSet, in string) (*quickrec.Recording, error) {
+// loadRecording maps the recording file read-only and decodes it in
+// place (the v2 zero-copy path); the returned close function unmaps it
+// and must outlive every use of the recording.
+func loadRecording(fs *flag.FlagSet, in string) (*quickrec.Recording, func() error, error) {
 	if in == "" {
-		return nil, fmt.Errorf("missing -i recording file")
+		return nil, nil, fmt.Errorf("missing -i recording file")
 	}
-	data, err := os.ReadFile(in)
-	if err != nil {
-		return nil, err
-	}
-	return quickrec.LoadRecording(data)
+	return quickrec.OpenRecording(in)
 }
 
 func cmdReplay(args []string, verify bool) error {
@@ -251,10 +254,11 @@ func cmdReplay(args []string, verify bool) error {
 	in := fs.String("i", "", "recording file")
 	workers := fs.Int("workers", 0, "replay checkpoint intervals on this many workers (0/1 = serial, -1 = all CPUs)")
 	fs.Parse(args)
-	rec, err := loadRecording(fs, *in)
+	rec, done, err := loadRecording(fs, *in)
 	if err != nil {
 		return err
 	}
+	defer done()
 	if *name == "" {
 		*name = rec.ProgramName
 	}
@@ -281,10 +285,11 @@ func cmdInspect(args []string) error {
 	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
 	in := fs.String("i", "", "recording file")
 	fs.Parse(args)
-	rec, err := loadRecording(fs, *in)
+	rec, done, err := loadRecording(fs, *in)
 	if err != nil {
 		return err
 	}
+	defer done()
 	fmt.Printf("recording of %q: %d threads, output %d B, mem checksum %#x\n",
 		rec.ProgramName, rec.Threads, len(rec.Output), rec.MemChecksum)
 
@@ -320,10 +325,11 @@ func cmdDebug(args []string) error {
 	traceLen := fs.Uint64("trace", 0, "also show the last N instructions before the position")
 	progPath := fs.String("prog", "", "qasm program file (for non-catalogue recordings)")
 	fs.Parse(args)
-	rec, err := loadRecording(fs, *in)
+	rec, done, err := loadRecording(fs, *in)
 	if err != nil {
 		return err
 	}
+	defer done()
 	prog, err := loadProgram(rec.ProgramName, *progPath, rec.Threads)
 	if err != nil {
 		return err
@@ -376,10 +382,11 @@ func cmdAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	in := fs.String("i", "", "recording file")
 	fs.Parse(args)
-	rec, err := loadRecording(fs, *in)
+	rec, done, err := loadRecording(fs, *in)
 	if err != nil {
 		return err
 	}
+	defer done()
 	rep := analysis.Analyze(rec.ChunkLogs, rec.InputLog)
 	fmt.Printf("recording of %q: %d instructions in %d chunks + %d input records\n",
 		rec.ProgramName, rep.TotalInstructions, rep.TotalChunks, rep.TotalInputs)
@@ -412,10 +419,11 @@ func cmdRace(args []string) error {
 	asJSON := fs.Bool("json", false, "emit the full report as JSON")
 	workers := fs.Int("workers", 0, "screen and confirm on this many workers (0/1 = serial, -1 = all CPUs)")
 	fs.Parse(args)
-	rec, err := loadRecording(fs, *in)
+	rec, done, err := loadRecording(fs, *in)
 	if err != nil {
 		return err
 	}
+	defer done()
 	if *name == "" {
 		*name = rec.ProgramName
 	}

@@ -1,0 +1,239 @@
+package capo
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Columnar input-log encoding — the wire-format-v2 body layout. The v1
+// record framing interleaves every field with every payload, which
+// hides the log's redundancy from the block compressor: a syscall
+// record's constant sysno sits ten bytes from the previous record's,
+// separated by whatever payload came between. Here each field becomes
+// one contiguous column (kinds, threads, seqs, timestamp deltas, then
+// the kind-specific columns) followed by a single data arena holding
+// every payload back to back. Columns of near-constant values collapse
+// into a few LZ tokens, and the arena is one contiguous region that
+// replay can alias straight out of an mmap'd bundle.
+//
+// Layout:
+//
+//	count uvarint
+//	kinds     [count]u8
+//	threads   [count]uvarint
+//	seqs      [count]uvarint
+//	ts deltas [count]varint (zigzag, delta from previous record's TS)
+//	sysno, ret, addr, dlen columns   (syscall records, in order)
+//	signo, retired, repdone columns  (signal records, in order)
+//	arena blob (payloads concatenated in record order; length must
+//	            equal the sum of the dlen column)
+
+// AppendColumnar serializes recs in the columnar layout onto a. Output
+// is a pure function of recs.
+func AppendColumnar(a *wire.Appender, recs []Record) {
+	a.Int(len(recs))
+	for i := range recs {
+		a.Byte(byte(recs[i].Kind))
+	}
+	for i := range recs {
+		a.Int(recs[i].Thread)
+	}
+	for i := range recs {
+		a.Int(recs[i].Seq)
+	}
+	var prevTS uint64
+	for i := range recs {
+		a.Varint(int64(recs[i].TS - prevTS))
+		prevTS = recs[i].TS
+	}
+	arena := 0
+	for i := range recs {
+		if recs[i].Kind == KindSyscall {
+			a.Uvarint(recs[i].Sysno)
+			a.Uvarint(recs[i].Ret)
+			a.Uvarint(recs[i].Addr)
+			a.Int(len(recs[i].Data))
+			arena += len(recs[i].Data)
+		}
+	}
+	for i := range recs {
+		if recs[i].Kind == KindSignal {
+			a.Uvarint(recs[i].Signo)
+			a.Uvarint(recs[i].Retired)
+			a.Uvarint(recs[i].RepDone)
+		}
+	}
+	a.Int(arena)
+	for i := range recs {
+		a.Raw(recs[i].Data)
+	}
+}
+
+// LogDecoder decodes input logs into reusable storage: the records
+// slice, the data arena and the InputLog itself persist across Decode
+// calls, so steady-state decoding allocates nothing. The returned log
+// is valid until the next call. With alias=true, record Data fields are
+// zero-copy views of the decoded buffer (the mmap path — the caller
+// guarantees the backing bytes outlive the records); with alias=false
+// they are copies the decoder owns.
+type LogDecoder struct {
+	log   InputLog
+	rd    inputDecoder
+	dlens []int // columnar scratch: per-record payload lengths
+}
+
+// DecodeLog parses a v1 framed input log (as written by Marshal),
+// reusing the decoder's storage.
+func (d *LogDecoder) DecodeLog(data []byte, alias bool) (*InputLog, error) {
+	if len(data) < 5 {
+		return nil, fmt.Errorf("%w: short header", errInputTruncated)
+	}
+	if [4]byte(data[0:4]) != inputMagic {
+		return nil, fmt.Errorf("%w: bad magic", errInputCorrupt)
+	}
+	if data[4] != inputVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", errInputCorrupt, data[4])
+	}
+	d.rd.c = wire.CursorWith(data, errInputTruncated, errInputCorrupt)
+	d.rd.arena = d.rd.arena[:0]
+	d.rd.alias = alias
+	d.rd.c.Skip(5)
+	count, err := d.rd.c.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	d.log.Records = d.log.Records[:0]
+	for i := uint64(0); i < count; i++ {
+		r, err := d.rd.readRecord()
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+		d.log.Records = append(d.log.Records, r)
+	}
+	if err := d.rd.c.Done(); err != nil {
+		return nil, err
+	}
+	return &d.log, nil
+}
+
+// DecodeColumnar parses a columnar record section in place from c
+// (which carries the container's flavored sentinels), reusing the
+// decoder's storage like DecodeLog.
+func (d *LogDecoder) DecodeColumnar(c *wire.Cursor, alias bool) (*InputLog, error) {
+	count, err := c.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Untrusted count: the kinds column alone needs count bytes.
+	if count > uint64(c.Remaining()) {
+		return nil, c.Corruptf("implausible record count %d", count)
+	}
+	n := int(count)
+	recs := d.log.Records[:0]
+	if cap(recs) < n {
+		recs = make([]Record, 0, n)
+	}
+	kinds, err := c.Raw(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		k := RecordKind(kinds[i])
+		if k != KindSyscall && k != KindSignal {
+			return nil, c.Corruptf("unknown record kind %d", kinds[i])
+		}
+		recs = append(recs, Record{Kind: k})
+	}
+	for i := 0; i < n; i++ {
+		v, err := c.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		recs[i].Thread = int(v)
+	}
+	for i := 0; i < n; i++ {
+		v, err := c.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		recs[i].Seq = int(v)
+	}
+	var prevTS uint64
+	for i := 0; i < n; i++ {
+		dlt, err := c.Varint()
+		if err != nil {
+			return nil, err
+		}
+		prevTS += uint64(dlt)
+		recs[i].TS = prevTS
+	}
+	d.dlens = d.dlens[:0]
+	var arenaLen uint64
+	for i := 0; i < n; i++ {
+		if recs[i].Kind != KindSyscall {
+			d.dlens = append(d.dlens, 0)
+			continue
+		}
+		if recs[i].Sysno, err = c.Uvarint(); err != nil {
+			return nil, err
+		}
+		if recs[i].Ret, err = c.Uvarint(); err != nil {
+			return nil, err
+		}
+		if recs[i].Addr, err = c.Uvarint(); err != nil {
+			return nil, err
+		}
+		dlen, err := c.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if dlen > 1<<32 {
+			return nil, c.Corruptf("implausible payload length %d", dlen)
+		}
+		d.dlens = append(d.dlens, int(dlen))
+		arenaLen += dlen
+		if arenaLen > 1<<40 {
+			return nil, c.Corruptf("arena overflow")
+		}
+	}
+	for i := 0; i < n; i++ {
+		if recs[i].Kind != KindSignal {
+			continue
+		}
+		if recs[i].Signo, err = c.Uvarint(); err != nil {
+			return nil, err
+		}
+		if recs[i].Retired, err = c.Uvarint(); err != nil {
+			return nil, err
+		}
+		if recs[i].RepDone, err = c.Uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	declared, err := c.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if declared != arenaLen {
+		return nil, c.Corruptf("arena declares %d bytes, dlen column sums to %d", declared, arenaLen)
+	}
+	arena, err := c.Raw(int(arenaLen))
+	if err != nil {
+		return nil, err
+	}
+	if !alias {
+		d.rd.arena = append(d.rd.arena[:0], arena...)
+		arena = d.rd.arena
+	}
+	off := 0
+	for i := 0; i < n; i++ {
+		recs[i].Data = nil
+		if l := d.dlens[i]; l > 0 {
+			recs[i].Data = arena[off : off+l : off+l]
+			off += l
+		}
+	}
+	d.log.Records = recs
+	return &d.log, nil
+}

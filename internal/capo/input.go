@@ -205,6 +205,10 @@ var (
 type inputDecoder struct {
 	c     wire.Cursor
 	arena []byte
+	// alias hands out zero-copy subslices of the input instead of arena
+	// copies — the mmap decode path, where the caller guarantees the
+	// backing bytes outlive the records.
+	alias bool
 }
 
 func newInputDecoder(data []byte) inputDecoder {
@@ -219,6 +223,9 @@ func (d *inputDecoder) dataCopy(n uint64) ([]byte, error) {
 	raw, err := d.c.Raw(int(n))
 	if err != nil {
 		return nil, err
+	}
+	if d.alias {
+		return raw[:n:n], nil
 	}
 	if cap(d.arena)-len(d.arena) < int(n) {
 		// Remaining input (plus this payload) bounds the data bytes still

@@ -130,7 +130,14 @@ func UnmarshalLogInto(l *Log, data []byte) error {
 		capHint = max
 	}
 	l.Thread = int(thread)
-	l.Entries = make([]Entry, 0, capHint)
+	// Reuse the existing entries capacity when the caller (a reusable
+	// bundle decoder) passes the same Log across decodes; a fresh Log
+	// allocates once with the hint.
+	if l.Entries != nil {
+		l.Entries = l.Entries[:0]
+	} else {
+		l.Entries = make([]Entry, 0, capHint)
+	}
 	var prev *Entry
 	for i := uint64(0); i < count; i++ {
 		e, n, err := enc.Decode(c.Rest(), prev)

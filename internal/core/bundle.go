@@ -21,9 +21,88 @@ var (
 	errBundleCorrupt   = fmt.Errorf("%w: %w", ErrCorruptBundle, wire.ErrCorrupt)
 )
 
+// ErrUnknownBundleVersion reports a bundle whose header names a version
+// this decoder does not speak. It wraps ErrCorruptBundle and the shared
+// wire.ErrCorrupt sentinel, so version skew triages as corruption
+// rather than crashing a reader.
+var ErrUnknownBundleVersion = fmt.Errorf("%w: unknown bundle version", errBundleCorrupt)
+
 var bundleMagic = [4]byte{'Q', 'R', 'B', 'N'}
 
-const bundleVersion = 2
+// Header version bytes. The original format predates explicit format
+// negotiation and stamped 2 in its version slot, so "wire format v1"
+// is header byte 2 and "wire format v2" is header byte 3.
+const (
+	bundleVersionV1 = 2
+	bundleVersionV2 = 3
+)
+
+// Feature-flag bits. V1 carries bits 0–3 in a single header byte; v2
+// widens the field to a little-endian u32 word and adds bit 4. Unknown
+// bits are rejected, which is what makes the word a negotiation
+// surface: a future writer that sets a new bit is refused loudly by
+// old readers instead of being misparsed.
+const (
+	bflagCountReps  = 1 << 0
+	bflagPartial    = 1 << 1
+	bflagSigs       = 1 << 2
+	bflagIntervals  = 1 << 3
+	bflagCompressed = 1 << 4 // v2 only: body block is LZ-compressed
+	bflagKnownV1    = bflagCountReps | bflagPartial | bflagSigs | bflagIntervals
+	bflagKnownV2    = bflagKnownV1 | bflagCompressed
+)
+
+// Format selects the byte format Marshal emits. The zero value lets
+// the encoder choose (currently: v2, compressed when that is smaller);
+// decoding stamps the source's exact format on the bundle, so decode →
+// Marshal reproduces the input bytes for every format — the
+// re-encode-is-identity property the conformance harness checks.
+type Format uint8
+
+const (
+	// FormatAuto is the encoder's choice: v2, LZ body iff smaller.
+	FormatAuto Format = iota
+	// FormatV1 is the legacy byte format (header version 2), kept
+	// decodable and re-encodable forever for stored recordings.
+	FormatV1
+	// FormatV2Raw is v2 framing with an uncompressed body block.
+	FormatV2Raw
+	// FormatV2LZ is v2 framing with an LZ-compressed body block.
+	FormatV2LZ
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatAuto:
+		return "auto"
+	case FormatV1:
+		return "v1"
+	case FormatV2Raw:
+		return "v2-raw"
+	case FormatV2LZ:
+		return "v2-lz"
+	}
+	return fmt.Sprintf("format(%d)", uint8(f))
+}
+
+// flagBits returns the content-derived feature bits (everything except
+// the compression bit, which depends on the chosen block method).
+func (b *Bundle) flagBits() uint32 {
+	var flags uint32
+	if b.CountRepIterations {
+		flags |= bflagCountReps
+	}
+	if b.Partial {
+		flags |= bflagPartial
+	}
+	if b.SigLogs != nil {
+		flags |= bflagSigs
+	}
+	if len(b.IntervalCheckpoints) > 0 {
+		flags |= bflagIntervals
+	}
+	return flags
+}
 
 // sizeHint estimates the marshalled size so the output buffer is
 // allocated once instead of doubling through the nested logs.
@@ -55,26 +134,31 @@ func checkpointSizeHint(cs *CheckpointState) int {
 }
 
 // Marshal serializes the bundle (logs, metadata and reference state;
-// RecordStats is runtime-only and not serialized). Chunk logs are stored
-// in the paper-style timestamp-delta encoding.
+// RecordStats is runtime-only and not serialized) in the format named
+// by b.Format: the legacy v1 layout, or the versioned v2 layout with
+// its columnar input log and optionally block-compressed body. The
+// zero Format lets the encoder choose (v2, compressed when smaller).
 func (b *Bundle) Marshal() []byte {
+	switch b.Format {
+	case FormatV1:
+		return b.marshalV1()
+	case FormatV2Raw:
+		return b.marshalV2(wire.BlockRaw, false)
+	case FormatV2LZ:
+		return b.marshalV2(wire.BlockLZ, false)
+	default:
+		return b.marshalV2(0, true)
+	}
+}
+
+// marshalV1 emits the legacy byte format. Its output is pinned by the
+// golden fixtures and must never change. Chunk logs are stored in the
+// paper-style timestamp-delta encoding.
+func (b *Bundle) marshalV1() []byte {
 	a := wire.AppenderOf(make([]byte, 0, b.sizeHint()))
 	a.Raw(bundleMagic[:])
-	a.Byte(bundleVersion)
-	var flags byte
-	if b.CountRepIterations {
-		flags |= 1
-	}
-	if b.Partial {
-		flags |= 2
-	}
-	if b.SigLogs != nil {
-		flags |= 4
-	}
-	if len(b.IntervalCheckpoints) > 0 {
-		flags |= 8
-	}
-	a.Byte(flags)
+	a.Byte(bundleVersionV1)
+	a.Byte(byte(b.flagBits()))
 	a.String(b.ProgramName)
 	a.Int(b.Threads)
 	a.Uvarint(b.StackWordsPerThread)
@@ -212,169 +296,6 @@ func readContext(c *wire.Cursor) (isa.Context, error) {
 		return ctx, err
 	}
 	return ctx, nil
-}
-
-// UnmarshalBundle parses a serialized bundle.
-func UnmarshalBundle(data []byte) (*Bundle, error) {
-	if len(data) < 5 || [4]byte(data[0:4]) != bundleMagic {
-		return nil, fmt.Errorf("%w: bad magic", ErrCorruptBundle)
-	}
-	if data[4] != bundleVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptBundle, data[4])
-	}
-	if len(data) < 6 {
-		return nil, errBundleTruncated
-	}
-	if data[5] > 15 {
-		return nil, fmt.Errorf("%w: unknown flags %#x", ErrCorruptBundle, data[5])
-	}
-	countReps := data[5]&1 != 0
-	partial := data[5]&2 != 0
-	hasSigs := data[5]&4 != 0
-	hasIvals := data[5]&8 != 0
-	c := wire.CursorWith(data, errBundleTruncated, errBundleCorrupt)
-	c.Skip(6)
-	name, err := c.View()
-	if err != nil {
-		return nil, err
-	}
-	threads, err := c.Uvarint()
-	if err != nil {
-		return nil, err
-	}
-	if threads == 0 || threads > 1<<16 {
-		return nil, fmt.Errorf("%w: implausible thread count %d", ErrCorruptBundle, threads)
-	}
-	b := &Bundle{ProgramName: string(name), Threads: int(threads), CountRepIterations: countReps, Partial: partial}
-	if b.StackWordsPerThread, err = c.Uvarint(); err != nil {
-		return nil, err
-	}
-	if b.MemChecksum, err = c.Uvarint(); err != nil {
-		return nil, err
-	}
-	if b.Output, err = c.Blob(); err != nil {
-		return nil, err
-	}
-	b.RetiredPerThread = make([]uint64, 0, b.Threads)
-	for t := 0; t < b.Threads; t++ {
-		v, err := c.Uvarint()
-		if err != nil {
-			return nil, err
-		}
-		b.RetiredPerThread = append(b.RetiredPerThread, v)
-	}
-	b.FinalContexts = make([]isa.Context, 0, b.Threads)
-	for t := 0; t < b.Threads; t++ {
-		ctx, err := readContext(&c)
-		if err != nil {
-			return nil, err
-		}
-		b.FinalContexts = append(b.FinalContexts, ctx)
-	}
-	// One contiguous array for all threads' Logs, pointered into place.
-	logs := make([]chunk.Log, b.Threads)
-	b.ChunkLogs = make([]*chunk.Log, 0, b.Threads)
-	for t := 0; t < b.Threads; t++ {
-		// View, not Blob: UnmarshalLogInto copies entries out and retains
-		// nothing of the raw bytes.
-		raw, err := c.View()
-		if err != nil {
-			return nil, err
-		}
-		if err := chunk.UnmarshalLogInto(&logs[t], raw); err != nil {
-			return nil, fmt.Errorf("chunk log %d: %w", t, err)
-		}
-		b.ChunkLogs = append(b.ChunkLogs, &logs[t])
-	}
-	raw, err := c.View()
-	if err != nil {
-		return nil, err
-	}
-	if b.InputLog, err = capo.UnmarshalInputLog(raw); err != nil {
-		return nil, err
-	}
-	if hasSigs {
-		b.SigLogs = make([][]capo.SigPair, b.Threads)
-		for t := 0; t < b.Threads; t++ {
-			n, err := c.Uvarint()
-			if err != nil {
-				return nil, err
-			}
-			// Sig logs are parallel to chunk logs by construction; a
-			// count mismatch means corruption, and catching it here keeps
-			// the screening phase's pairwise indexing in bounds.
-			if int(n) != b.ChunkLogs[t].Len() {
-				return nil, fmt.Errorf("%w: thread %d has %d signature pairs for %d chunks",
-					ErrCorruptBundle, t, n, b.ChunkLogs[t].Len())
-			}
-			for i := uint64(0); i < n; i++ {
-				var p capo.SigPair
-				if p.Read, err = c.Blob(); err != nil {
-					return nil, err
-				}
-				if p.Write, err = c.Blob(); err != nil {
-					return nil, err
-				}
-				b.SigLogs[t] = append(b.SigLogs[t], p)
-			}
-		}
-	}
-	hasCkpt, err := c.Byte()
-	if err != nil {
-		return nil, fmt.Errorf("%w: missing checkpoint flag", ErrCorruptBundle)
-	}
-	if hasCkpt == 1 {
-		if b.Checkpoint, err = readCheckpoint(&c, b.Threads); err != nil {
-			return nil, err
-		}
-	} else if hasCkpt != 0 {
-		return nil, fmt.Errorf("%w: bad checkpoint flag %d", ErrCorruptBundle, hasCkpt)
-	}
-	if hasIvals {
-		n, err := c.Uvarint()
-		if err != nil {
-			return nil, err
-		}
-		// Each interval checkpoint embeds a memory image, so the count is
-		// bounded by the remaining bytes; reject absurd values early.
-		if n == 0 || n > uint64(c.Remaining()) {
-			return nil, fmt.Errorf("%w: implausible interval checkpoint count %d", ErrCorruptBundle, n)
-		}
-		for i := uint64(0); i < n; i++ {
-			ck := &IntervalCheckpoint{}
-			if ck.State, err = readCheckpoint(&c, b.Threads); err != nil {
-				return nil, err
-			}
-			for t := 0; t < b.Threads; t++ {
-				p, err := c.Uvarint()
-				if err != nil {
-					return nil, err
-				}
-				if p > uint64(b.ChunkLogs[t].Len()) {
-					return nil, fmt.Errorf("%w: interval checkpoint %d chunk position %d beyond log (%d entries)",
-						ErrCorruptBundle, i, p, b.ChunkLogs[t].Len())
-				}
-				ck.ChunkPos = append(ck.ChunkPos, int(p))
-			}
-			p, err := c.Uvarint()
-			if err != nil {
-				return nil, err
-			}
-			if p > uint64(b.InputLog.Len()) {
-				return nil, fmt.Errorf("%w: interval checkpoint %d input position %d beyond log (%d records)",
-					ErrCorruptBundle, i, p, b.InputLog.Len())
-			}
-			ck.InputPos = int(p)
-			if ck.RetiredAt, err = c.Uvarint(); err != nil {
-				return nil, err
-			}
-			b.IntervalCheckpoints = append(b.IntervalCheckpoints, ck)
-		}
-	}
-	if err := c.Done(); err != nil {
-		return nil, err
-	}
-	return b, nil
 }
 
 func readCheckpoint(c *wire.Cursor, threads int) (*CheckpointState, error) {

@@ -63,6 +63,12 @@ type Bundle struct {
 	FinalContexts    []isa.Context
 	RetiredPerThread []uint64
 
+	// Format selects the byte format Marshal emits (see Format). It is
+	// runtime-only state, not a serialized field: decoding stamps the
+	// source's format here so a decoded bundle re-encodes identically,
+	// and a fresh recording's zero value lets the encoder choose.
+	Format Format
+
 	// RecordStats carries the recording run's measurements (overheads,
 	// log volumes, chunk statistics). Not serialized.
 	RecordStats *machine.Result

@@ -152,8 +152,13 @@ func TestWriteGoldenFixtures(t *testing.T) {
 	}
 	for _, gs := range goldenSpecs() {
 		b, stream := goldenRecord(t, gs)
+		b.Format = FormatV1
 		data := b.Marshal()
 		if err := os.WriteFile(filepath.Join(goldenDir, gs.Name+".bundle"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		b.Format = FormatAuto
+		if err := os.WriteFile(filepath.Join(goldenDir, gs.Name+".v2.bundle"), b.Marshal(), 0o644); err != nil {
 			t.Fatal(err)
 		}
 		if gs.Stream {
@@ -220,11 +225,37 @@ func TestGoldenBundleCompat(t *testing.T) {
 				t.Error("decode is not deterministic")
 			}
 			fresh, _ := goldenRecord(t, gs)
+			fresh.Format = FormatV1
 			if !bytes.Equal(fresh.Marshal(), data) {
 				t.Errorf("fresh recording no longer byte-matches the fixture (encoder or recorder drifted)")
 			}
 			goldenSubLogRoundTrips(t, b)
+			goldenV2Compat(t, gs, b)
 		})
+	}
+}
+
+// goldenV2Compat pins the v2 byte format the same way the v1 fixtures
+// pin the legacy one: the checked-in .v2.bundle must keep decoding to
+// the exact same recording the v1 fixture describes, and must keep
+// re-encoding byte-identically (decode stamps the source format, so a
+// round trip reproduces the source bytes for both formats).
+func goldenV2Compat(t *testing.T, gs goldenSpec, v1 *Bundle) {
+	t.Helper()
+	data := loadGolden(t, gs.Name+".v2.bundle")
+	b, err := UnmarshalBundle(data)
+	if err != nil {
+		t.Fatalf("v2 fixture no longer decodes: %v", err)
+	}
+	if b.Format != FormatV2Raw && b.Format != FormatV2LZ {
+		t.Fatalf("v2 fixture decoded with format %v", b.Format)
+	}
+	if again := b.Marshal(); !bytes.Equal(again, data) {
+		t.Fatalf("re-encode of v2 fixture is not byte-identical: %d vs %d bytes", len(again), len(data))
+	}
+	b.Format = v1.Format
+	if !reflect.DeepEqual(b, v1) {
+		t.Error("v2 fixture decodes to a different recording than the v1 fixture")
 	}
 }
 

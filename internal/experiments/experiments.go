@@ -121,6 +121,7 @@ func All() []Experiment {
 		{"A7", "Offline data-race detection over recorded logs", A7},
 		{"A8", "Checkpoint-partitioned parallel replay speedup", A8},
 		{"A9", "Flight-recorder retention window: salvage quality and cost vs K", A9},
+		{"A10", "Serialization shootout: bundle wire formats vs stdlib strawmen", A10},
 	}
 }
 

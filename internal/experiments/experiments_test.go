@@ -25,7 +25,7 @@ func runExp(t *testing.T, id string) string {
 }
 
 func TestAllExperimentsRegistered(t *testing.T) {
-	want := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9"}
+	want := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("%d experiments registered, want %d", len(all), len(want))
@@ -336,5 +336,24 @@ func TestA8ParallelReplay(t *testing.T) {
 	}
 	if !strings.Contains(out, "OK (identical)") {
 		t.Fatalf("A8 verified no benchmark (all runs too short?):\n%s", out)
+	}
+}
+
+func TestA10ShootoutHeadline(t *testing.T) {
+	out := runExp(t, "A10")
+	for _, codec := range []string{"v1", "v2-raw", "v2-lz", "gob", "json"} {
+		if !strings.Contains(out, codec) {
+			t.Errorf("A10 output missing codec %s", codec)
+		}
+	}
+	// The headline claim: on ioheavy, the compressed v2 format is at
+	// least 2x smaller than v1.
+	io := out[strings.Index(out, "ioheavy"):]
+	m := regexp.MustCompile(`v2-lz\s+\S+\s+\S+\s+\S+\s+\S+\s+(\d+\.\d+)x`).FindStringSubmatch(io)
+	if m == nil {
+		t.Fatalf("A10 ioheavy table has no v2-lz ratio:\n%s", io)
+	}
+	if ratio, _ := strconv.ParseFloat(m[1], 64); ratio < 2.0 {
+		t.Errorf("A10 ioheavy v2-lz ratio %.2fx, want >= 2x", ratio)
 	}
 }

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/harness"
+	"repro/internal/report"
+)
+
+// A10 is the serialization shootout (the arpc-style evaluation for the
+// bundle wire format): the same recording pushed through every bundle
+// codec — v1, v2 uncompressed, v2 block-compressed — and through gob
+// and JSON strawmen, reporting encoded size, bytes per thousand
+// recorded instructions (the paper's log-growth unit), encode/decode
+// throughput and the compression ratio against v1. counter is the
+// compact chunk-dominated recording; ioheavy carries the input-log
+// payload bytes the v2 output-op encoding deduplicates.
+func A10(cfg Config, w io.Writer) error {
+	threads := cfg.maxThreads()
+	for _, name := range []string{"counter", "ioheavy"} {
+		rows, err := harness.MeasureShootout(name, threads, threads, 3)
+		if err != nil {
+			return err
+		}
+		t := report.Table{
+			Title:   fmt.Sprintf("Serialization shootout (%s, %d threads)", name, threads),
+			Columns: []string{"codec", "bytes", "B/kinstr", "enc MB/s", "dec MB/s", "vs v1"},
+		}
+		for _, r := range rows {
+			t.AddRow(r.Codec, report.U(r.Bytes), report.F(r.BytesPerKinstr, 1),
+				report.F(r.EncodeMBps, 1), report.F(r.DecodeMBps, 1),
+				report.F(r.RatioVsV1, 2)+"x")
+		}
+		if _, err := fmt.Fprint(w, t.String()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "v2 decodes zero-copy out of a read-only mapping; the lz variant is the on-disk/ingest default")
+	return err
+}

@@ -37,12 +37,13 @@ type BenchResult struct {
 }
 
 // BaselineWorkloads is the committed baseline's workload set; the guard
-// measures exactly these. codec:counter times the bundle wire round
-// trip, so the baseline pins the wire layer's allocation profile;
-// ingest:fanin pushes a 64-uploader fleet through a loopback ingest
-// server, so it pins the service path end to end (framing, sharding,
-// store, verification).
-var BaselineWorkloads = []string{"counter", "ioheavy", "repcopy", "screen:racy", "replay:par", "screen:par", "codec:counter", "flight:window", "ingest:fanin"}
+// measures exactly these. codec:counter times steady-state v1 bundle
+// decoding and codec:v2 the same recording through the v2 wire format,
+// so the baseline pins the wire layer's allocation profile for both
+// versions; ingest:fanin pushes a 64-uploader fleet through a loopback
+// ingest server, so it pins the service path end to end (framing,
+// sharding, store, verification).
+var BaselineWorkloads = []string{"counter", "ioheavy", "repcopy", "screen:racy", "replay:par", "screen:par", "codec:counter", "codec:v2", "flight:window", "ingest:fanin"}
 
 // allocMeter samples the runtime's allocation counters around a measured
 // loop. The harness is library code, so it cannot use testing.B's
@@ -71,6 +72,11 @@ type Baseline struct {
 	// Note records how the numbers were produced.
 	Note    string        `json:"note"`
 	Results []BenchResult `json:"results"`
+	// Shootout is the serialization shootout over the ioheavy workload:
+	// every bundle codec (v1, v2 raw/compressed, gob and JSON strawmen)
+	// measured on the same recording. Informational — the regression
+	// guard reads Results; the shootout documents why v2 exists.
+	Shootout []ShootoutResult `json:"shootout,omitempty"`
 }
 
 // MeasureRecordThroughput records the named workload runs times and
@@ -388,12 +394,19 @@ func checkFaninRun(srv *ingest.Server, lg *ingest.LoadgenResult, distinct map[st
 	return nil
 }
 
-// MeasureCodecThroughput records the named workload once, then times
-// runs full bundle serialization round trips (Marshal plus
-// UnmarshalBundle). Instrs is the recorded instruction count, so
-// throughput reads as recorded instructions re-coded per second; the
-// allocation columns are the wire layer's scoreboard.
-func MeasureCodecThroughput(name string, threads, cores, runs int) (*BenchResult, error) {
+// benchCodecDecodes is how many steady-state decodes one measured codec
+// op covers; amortizing keeps the per-op timer noise below the decode
+// cost being measured.
+const benchCodecDecodes = 64
+
+// MeasureCodecThroughput records the named workload once, encodes it in
+// the given wire format, then times runs batches of steady-state
+// decodes through one reused BundleDecoder — the same zero-copy path
+// replay uses over an mmapped bundle file. Instrs is the recorded
+// instruction count, so throughput reads as recorded instructions
+// decoded per second; the allocation columns are the wire layer's
+// scoreboard and should sit at ~0 once the decoder is warm.
+func MeasureCodecThroughput(name string, threads, cores, runs int, format core.Format) (*BenchResult, error) {
 	prog, err := buildProgram(name, threads)
 	if err != nil {
 		return nil, err
@@ -410,28 +423,40 @@ func MeasureCodecThroughput(name string, threads, cores, runs int) (*BenchResult
 	if runs < 1 {
 		runs = 1
 	}
+	rec.Format = format
+	data := rec.Marshal()
+	dec := &core.BundleDecoder{}
+	// Warm decode: the first pass grows the decoder's reusable buffers;
+	// the measured passes are the steady state.
+	if _, err := dec.Decode(data); err != nil {
+		return nil, fmt.Errorf("harness: bench codec decode of %s (%s) failed: %w", name, format, err)
+	}
 	res := &BenchResult{Workload: "codec:" + name, Threads: threads, Cores: cores, Instrs: instrs}
 	var meter allocMeter
 	meter.start()
 	for i := 0; i < runs; i++ {
 		start := time.Now()
-		data := rec.Marshal()
-		if _, err := core.UnmarshalBundle(data); err != nil {
-			return nil, fmt.Errorf("harness: bench codec round trip of %s failed: %w", name, err)
+		for j := 0; j < benchCodecDecodes; j++ {
+			if _, err := dec.Decode(data); err != nil {
+				return nil, fmt.Errorf("harness: bench codec decode of %s (%s) failed: %w", name, format, err)
+			}
 		}
-		if tput := float64(instrs) / time.Since(start).Seconds(); tput > res.InstrsPerSec {
+		perDecode := time.Since(start).Seconds() / benchCodecDecodes
+		if tput := float64(instrs) / perDecode; tput > res.InstrsPerSec {
 			res.InstrsPerSec = tput
 		}
 	}
-	meter.stop(res, runs)
+	meter.stop(res, runs*benchCodecDecodes)
 	return res, nil
 }
 
 // measureWorkload dispatches a baseline entry: plain names bench
 // recording throughput, "screen:<name>" benches the race detector's
 // screening phase over a recording of <name>, "screen:par" the same
-// phase for racy on a 4-worker pool, and "replay:par" the
-// checkpoint-partitioned parallel replay engine on 4 workers.
+// phase for racy on a 4-worker pool, "replay:par" the
+// checkpoint-partitioned parallel replay engine on 4 workers,
+// "codec:<name>" steady-state v1 bundle decoding of <name>, and
+// "codec:v2" the same counter recording through the v2 wire format.
 func measureWorkload(name string, threads, cores, runs int) (*BenchResult, error) {
 	switch name {
 	case "replay:par":
@@ -442,12 +467,18 @@ func measureWorkload(name string, threads, cores, runs int) (*BenchResult, error
 		return MeasureWindowThroughput(threads, cores, runs)
 	case "ingest:fanin":
 		return MeasureIngestFanin(threads, cores, runs)
+	case "codec:v2":
+		res, err := MeasureCodecThroughput("counter", threads, cores, runs, core.FormatAuto)
+		if err == nil {
+			res.Workload = "codec:v2"
+		}
+		return res, err
 	}
 	if rest, ok := strings.CutPrefix(name, "screen:"); ok {
 		return MeasureScreenThroughput(rest, threads, cores, 0, runs)
 	}
 	if rest, ok := strings.CutPrefix(name, "codec:"); ok {
-		return MeasureCodecThroughput(rest, threads, cores, runs)
+		return MeasureCodecThroughput(rest, threads, cores, runs, core.FormatV1)
 	}
 	return MeasureRecordThroughput(name, threads, cores, runs)
 }
@@ -465,6 +496,11 @@ func WriteBaseline(path string, workloads []string, threads, cores, runs int) (*
 		}
 		b.Results = append(b.Results, *r)
 	}
+	shootout, err := MeasureShootout("ioheavy", threads, cores, runs)
+	if err != nil {
+		return nil, err
+	}
+	b.Shootout = shootout
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		return nil, err

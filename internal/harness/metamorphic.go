@@ -140,13 +140,21 @@ func checkMetamorphic(prog *isa.Program, cfg machine.Config, rec *core.Bundle) [
 				}
 			}
 		}
-		data := rec.Marshal()
-		loaded, err := core.UnmarshalBundle(data)
-		if err != nil {
-			return fmt.Errorf("bundle: decode: %w", err)
-		}
-		if !bytes.Equal(loaded.Marshal(), data) {
-			return fmt.Errorf("bundle: re-encode differs")
+		// Both wire versions: a decoded bundle remembers the format it
+		// came from, so decode→re-encode must round-trip byte-identically
+		// whether the bytes were v1, uncompressed v2 or compressed v2.
+		for _, f := range []core.Format{core.FormatV1, core.FormatV2Raw, core.FormatV2LZ} {
+			saved := rec.Format
+			rec.Format = f
+			data := rec.Marshal()
+			rec.Format = saved
+			loaded, err := core.UnmarshalBundle(data)
+			if err != nil {
+				return fmt.Errorf("bundle (%s): decode: %w", f, err)
+			}
+			if !bytes.Equal(loaded.Marshal(), data) {
+				return fmt.Errorf("bundle (%s): re-encode differs", f)
+			}
 		}
 		return nil
 	}())

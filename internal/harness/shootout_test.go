@@ -1,0 +1,38 @@
+package harness
+
+import "testing"
+
+// TestCodecShootout runs the serialization shootout on ioheavy — the
+// workload the compression target is stated against — and pins the
+// headline claims: every codec round-trips, the compressed v2 format
+// beats v1 by at least 2x, and the custom formats are never larger
+// than the stdlib strawmen.
+func TestCodecShootout(t *testing.T) {
+	rows, err := MeasureShootout("ioheavy", 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCodec := map[string]ShootoutResult{}
+	for _, r := range rows {
+		byCodec[r.Codec] = r
+		if r.Bytes == 0 || r.EncodeMBps <= 0 || r.DecodeMBps <= 0 {
+			t.Errorf("%s: degenerate row %+v", r.Codec, r)
+		}
+		t.Logf("%-7s %8d B  %8.1f B/kinstr  enc %8.1f MB/s  dec %8.1f MB/s  %5.2fx vs v1",
+			r.Codec, r.Bytes, r.BytesPerKinstr, r.EncodeMBps, r.DecodeMBps, r.RatioVsV1)
+	}
+	for _, want := range []string{"v1", "v2-raw", "v2-lz", "gob", "json"} {
+		if _, ok := byCodec[want]; !ok {
+			t.Fatalf("shootout is missing codec %s", want)
+		}
+	}
+	if r := byCodec["v2-lz"].RatioVsV1; r < 2.0 {
+		t.Errorf("v2-lz compresses ioheavy only %.4fx vs v1, want >= 2x", r)
+	}
+	for _, straw := range []string{"gob", "json"} {
+		if byCodec["v2-lz"].Bytes > byCodec[straw].Bytes {
+			t.Errorf("v2-lz (%d B) is larger than the %s strawman (%d B)",
+				byCodec["v2-lz"].Bytes, straw, byCodec[straw].Bytes)
+		}
+	}
+}

@@ -33,10 +33,11 @@ func IsRetryable(err error) bool {
 // Client is one recorder's connection to the ingest fleet. A client
 // carries one upload session; it is not safe for concurrent use.
 type Client struct {
-	conn   net.Conn
-	br     *bufio.Reader
-	credit int
-	chunk  int
+	conn    net.Conn
+	br      *bufio.Reader
+	credit  int
+	chunk   int
+	version byte // negotiated protocol version, set by hello
 }
 
 // uploadChunk is the default DATA frame payload size.
@@ -85,7 +86,7 @@ func (c *Client) recv() (FrameKind, []byte, error) {
 // hello negotiates the session and the initial credit.
 func (c *Client) hello(tenant string, sizeHint uint64) error {
 	a := wire.GetAppender()
-	appendHello(a, helloPayload{Version: protoVersion, Tenant: tenant, SizeHint: sizeHint})
+	appendHello(a, helloPayload{Version: protoVersionMax, Tenant: tenant, SizeHint: sizeHint})
 	err := c.send(FrameHello, a.Buf)
 	wire.PutAppender(a)
 	if err != nil {
@@ -102,9 +103,13 @@ func (c *Client) hello(tenant string, sizeHint uint64) error {
 	if err != nil {
 		return err
 	}
-	if w.Version != protoVersion {
-		return fmt.Errorf("%w: server speaks version %d, client %d", ErrFrame, w.Version, protoVersion)
+	// The server may negotiate down from the offer, never up past it and
+	// never below the client's floor.
+	if w.Version < protoVersionMin || w.Version > protoVersionMax {
+		return fmt.Errorf("%w: server negotiated version %d, client speaks %d..%d",
+			ErrFrame, w.Version, protoVersionMin, protoVersionMax)
 	}
+	c.version = w.Version
 	if w.Credit == 0 {
 		return fmt.Errorf("%w: zero initial credit", ErrFrame)
 	}

@@ -73,8 +73,17 @@ func (k FrameKind) String() string {
 }
 
 const (
-	// protoVersion is the ingest protocol version spoken by this package.
-	protoVersion = 1
+	// protoVersionMin and protoVersionMax bound the ingest protocol
+	// versions spoken by this package. v2 is identical to v1 on the wire
+	// — every payload already carries trailer checks, so nothing needed
+	// to change — but negotiating it proves the HELLO/WELCOME version
+	// path end to end before a payload-changing revision depends on it.
+	// The client offers the newest version it speaks; the server answers
+	// WELCOME with min(offered, protoVersionMax) and rejects only offers
+	// below its floor, so future clients degrade gracefully against old
+	// fleets and vice versa.
+	protoVersionMin = 1
+	protoVersionMax = 2
 	// frameHeaderSize is plen u32 + kind u8.
 	frameHeaderSize = 4 + 1
 	// maxFramePayload bounds one frame; longer plen fields are treated as

@@ -21,8 +21,8 @@ func frameBytes(kind FrameKind, build func(*wire.Appender)) []byte {
 }
 
 func TestFramePayloadRoundTrip(t *testing.T) {
-	hello := helloPayload{Version: protoVersion, Tenant: "sphere-7", SizeHint: 1 << 20}
-	welcome := welcomePayload{Version: protoVersion, Credit: 256 << 10}
+	hello := helloPayload{Version: protoVersionMax, Tenant: "sphere-7", SizeHint: 1 << 20}
+	welcome := welcomePayload{Version: protoVersionMax, Credit: 256 << 10}
 	grant := grantPayload{Bytes: 65536}
 	var fin finishPayload
 	for i := range fin.Digest {
@@ -127,7 +127,7 @@ func TestDecodePayloadFaults(t *testing.T) {
 	}
 	// Empty tenant is rejected — the tenant keys sharding and verdicts.
 	var a wire.Appender
-	appendHello(&a, helloPayload{Version: protoVersion, Tenant: "", SizeHint: 0})
+	appendHello(&a, helloPayload{Version: protoVersionMax, Tenant: "", SizeHint: 0})
 	if _, err := decodeHello(a.Buf); !errors.Is(err, ErrFrame) {
 		t.Fatalf("empty tenant: %v", err)
 	}
@@ -150,10 +150,10 @@ func TestDecodePayloadFaults(t *testing.T) {
 // decodes re-encodes byte-identically through appendFrame.
 func FuzzIngestFrame(f *testing.F) {
 	f.Add(frameBytes(FrameHello, func(a *wire.Appender) {
-		appendHello(a, helloPayload{Version: protoVersion, Tenant: "sphere-0", SizeHint: 4096})
+		appendHello(a, helloPayload{Version: protoVersionMax, Tenant: "sphere-0", SizeHint: 4096})
 	}))
 	f.Add(frameBytes(FrameWelcome, func(a *wire.Appender) {
-		appendWelcome(a, welcomePayload{Version: protoVersion, Credit: 1 << 18})
+		appendWelcome(a, welcomePayload{Version: protoVersionMax, Credit: 1 << 18})
 	}))
 	f.Add(frameBytes(FrameData, func(a *wire.Appender) { a.Raw([]byte("QRSGstream-bytes")) }))
 	f.Add(frameBytes(FrameGrant, func(a *wire.Appender) { appendGrant(a, grantPayload{Bytes: 65536}) }))

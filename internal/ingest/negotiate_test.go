@@ -1,0 +1,152 @@
+package ingest
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// rawHello dials the server, sends a HELLO with the given version byte,
+// and returns the first reply frame.
+func rawHello(t *testing.T, addr string, version byte) (FrameKind, []byte) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	a := wire.GetAppender()
+	defer wire.PutAppender(a)
+	appendHello(a, helloPayload{Version: version, Tenant: "sphere-n", SizeHint: 64})
+	fa := wire.GetAppender()
+	defer wire.PutAppender(fa)
+	appendFrame(fa, FrameHello, a.Buf)
+	if _, err := conn.Write(fa.Buf); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, err := readFrame(conn)
+	if err != nil {
+		t.Fatalf("reading reply to v%d hello: %v", version, err)
+	}
+	return kind, payload
+}
+
+// TestHelloVersionNegotiation covers the protocol version handshake:
+// every supported version is answered with itself, a future version is
+// answered at the server's ceiling, and a below-floor version is
+// rejected with a typed protocol error.
+func TestHelloVersionNegotiation(t *testing.T) {
+	s := startServer(t, nil)
+
+	for _, tc := range []struct {
+		offer byte
+		want  byte
+	}{
+		{protoVersionMin, protoVersionMin}, // v1 recorder against a v2 fleet
+		{protoVersionMax, protoVersionMax},
+		{protoVersionMax + 7, protoVersionMax}, // future recorder: degrade, don't reject
+	} {
+		kind, payload := rawHello(t, s.Addr(), tc.offer)
+		if kind != FrameWelcome {
+			t.Fatalf("offer v%d: got %s frame, want welcome", tc.offer, kind)
+		}
+		w, err := decodeWelcome(payload)
+		if err != nil {
+			t.Fatalf("offer v%d: %v", tc.offer, err)
+		}
+		if w.Version != tc.want {
+			t.Errorf("offer v%d: negotiated v%d, want v%d", tc.offer, w.Version, tc.want)
+		}
+	}
+
+	kind, payload := rawHello(t, s.Addr(), 0)
+	if kind != FrameError {
+		t.Fatalf("offer v0: got %s frame, want error", kind)
+	}
+	ep, err := decodeError(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Code != CodeProtocol || ep.Retryable {
+		t.Errorf("offer v0: rejected with %s retryable=%v, want non-retryable protocol error", ep.Code, ep.Retryable)
+	}
+}
+
+// TestClientNegotiatesAgainstV1Server pins the client half: a WELCOME
+// carrying v1 (an old fleet) is accepted and recorded, while a version
+// outside the client's range is refused.
+func TestClientNegotiatesAgainstV1Server(t *testing.T) {
+	for _, tc := range []struct {
+		version byte
+		ok      bool
+	}{
+		{protoVersionMin, true},
+		{protoVersionMax, true},
+		{0, false},
+		{protoVersionMax + 1, false},
+	} {
+		srv, cli := net.Pipe()
+		c := &Client{conn: cli, br: bufio.NewReader(cli), chunk: uploadChunk}
+		go func() {
+			kind, payload, err := readFrame(srv)
+			if err != nil || kind != FrameHello {
+				srv.Close()
+				return
+			}
+			h, err := decodeHello(payload)
+			if err != nil || h.Version != protoVersionMax {
+				srv.Close()
+				return
+			}
+			a := wire.GetAppender()
+			defer wire.PutAppender(a)
+			appendWelcome(a, welcomePayload{Version: tc.version, Credit: 1024})
+			fa := wire.GetAppender()
+			defer wire.PutAppender(fa)
+			appendFrame(fa, FrameWelcome, a.Buf)
+			srv.Write(fa.Buf)
+		}()
+		err := c.hello("sphere-n", 64)
+		cli.Close()
+		srv.Close()
+		if tc.ok && err != nil {
+			t.Errorf("welcome v%d: hello failed: %v", tc.version, err)
+		}
+		if tc.ok && c.version != tc.version {
+			t.Errorf("welcome v%d: client recorded v%d", tc.version, c.version)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("welcome v%d: client accepted an out-of-range version", tc.version)
+		}
+	}
+}
+
+// TestWriteFrameMarksUploadDead is the regression test for the shard
+// lifecycle bug: writeFrame's contract says a failed write marks the
+// upload dead, and the shard relies on that to stop assembling (and
+// never ack) a session whose socket is gone.
+func TestWriteFrameMarksUploadDead(t *testing.T) {
+	s := startServer(t, nil)
+	srv, cli := net.Pipe()
+	cli.Close() // the peer vanished: every write must fail
+	up := &upload{conn: srv, wmu: &sync.Mutex{}}
+	if s.writeFrame(up, FrameGrant, []byte{1}) {
+		t.Fatal("writeFrame reported success on a closed connection")
+	}
+	if !up.dead.Load() {
+		t.Fatal("failed writeFrame did not mark the upload dead")
+	}
+	// A dead upload must stay inert through the shard's remaining work:
+	// finishUpload on a dead session neither stores nor acks.
+	before := s.ctrs.accepted.Load()
+	up.buf = wire.GetAppender()
+	defer wire.PutAppender(up.buf)
+	s.finishUpload(up, [digestSize]byte{})
+	if got := s.ctrs.accepted.Load(); got != before {
+		t.Fatalf("dead upload was acked (accepted %d -> %d)", before, got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/wire"
@@ -82,14 +83,15 @@ type shard struct {
 // upload is one in-flight session's assembly state. The buf is owned by
 // the shard worker between register and finish/abort; conn writes are
 // serialized by wmu (the shard worker and the session handler both send
-// frames).
+// frames). dead is atomic for the same reason: writeFrame marks it from
+// whichever goroutine hit the failure, and the shard polls it.
 type upload struct {
 	tenant string
 	conn   net.Conn
 	wmu    *sync.Mutex
 	buf    *wire.Appender
 	size   int
-	dead   bool // set by the shard on write failure / size overflow
+	dead   atomic.Bool // set on write failure / size overflow; shard skips dead uploads
 }
 
 // Server is the recording-as-a-service ingest endpoint.
@@ -214,7 +216,8 @@ func (s *Server) writeFrame(up *upload, kind FrameKind, payload []byte) bool {
 	up.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	_, err := up.conn.Write(a.Buf)
 	if err != nil {
-		up.conn.Close() // a wedged reader: sever the session
+		up.dead.Store(true) // no more frames owed; the shard drops its work
+		up.conn.Close()     // a wedged reader: sever the session
 		return false
 	}
 	return true
@@ -270,11 +273,17 @@ func (s *Server) handle(conn net.Conn) {
 		return // nothing was negotiated; no frame owed
 	}
 	hello, err := decodeHello(payload)
-	if err != nil || hello.Version != protoVersion {
+	if err != nil || hello.Version < protoVersionMin {
 		s.ctrs.rejected.Add(1)
 		up := &upload{conn: conn, wmu: &sync.Mutex{}}
 		s.writeErrorFrame(up, CodeProtocol, false, "bad hello")
 		return
+	}
+	// Speak the newest version both sides know: a future client offering
+	// a higher version is answered at our ceiling, not rejected.
+	version := hello.Version
+	if version > protoVersionMax {
+		version = protoVersionMax
 	}
 	if hello.SizeHint > uint64(s.cfg.MaxUploadBytes) {
 		s.ctrs.rejected.Add(1)
@@ -306,7 +315,7 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 
 	a := wire.GetAppender()
-	appendWelcome(a, welcomePayload{Version: protoVersion, Credit: uint64(s.cfg.Credit)})
+	appendWelcome(a, welcomePayload{Version: version, Credit: uint64(s.cfg.Credit)})
 	ok := s.writeFrame(up, FrameWelcome, a.Buf)
 	wire.PutAppender(a)
 	if !ok {
@@ -359,11 +368,11 @@ func (s *Server) runShard(sh *shard) {
 		case FrameHello:
 			up.buf = wire.GetAppender()
 		case FrameData:
-			if up.dead {
+			if up.dead.Load() {
 				continue
 			}
 			if up.size+len(msg.data) > s.cfg.MaxUploadBytes {
-				up.dead = true
+				up.dead.Store(true)
 				s.ctrs.rejected.Add(1)
 				s.writeErrorFrame(up, CodeTooLarge, false,
 					fmt.Sprintf("upload exceeds %d bytes", s.cfg.MaxUploadBytes))
@@ -373,9 +382,9 @@ func (s *Server) runShard(sh *shard) {
 			up.size += len(msg.data)
 			ga := wire.GetAppender()
 			appendGrant(ga, grantPayload{Bytes: uint64(len(msg.data))})
-			if !s.writeFrame(up, FrameGrant, ga.Buf) {
-				up.dead = true // handler will see the closed conn and abort
-			}
+			// A failed grant marks the upload dead inside writeFrame; the
+			// handler will see the closed conn and abort.
+			s.writeFrame(up, FrameGrant, ga.Buf)
 			wire.PutAppender(ga)
 		case FrameFinish:
 			s.finishUpload(up, msg.dig)
@@ -397,7 +406,7 @@ func (s *Server) releaseUpload(up *upload) {
 // finishUpload verifies the upload digest, stores the bundle, queues
 // verification, and acks.
 func (s *Server) finishUpload(up *upload, want [digestSize]byte) {
-	if up.dead {
+	if up.dead.Load() {
 		return
 	}
 	got := sha256.Sum256(up.buf.Buf)

@@ -120,6 +120,11 @@ type Config struct {
 	// without CheckpointEveryInstrs, since the window only rolls at
 	// checkpoint boundaries.
 	RetainCheckpoints uint64
+	// CompressStream, when streaming, LZ-compresses chunk and input
+	// batch payloads through the shared wire block codec (marked with a
+	// kind bit, checksummed post-compression). Off by default: the
+	// uncompressed stream format is what pre-v2 salvagers understand.
+	CompressStream bool
 	// CaptureSignatures retains each chunk's serialized read/write Bloom
 	// signatures alongside the chunk log, for offline conflict screening
 	// (the race detector). Off by default: the captured bytes are an

@@ -10,9 +10,13 @@ import (
 // the sink is the windowed ring writer instead of the unbounded one.
 func (m *Machine) initStream() {
 	if m.cfg.RetainCheckpoints > 0 {
-		m.stream = segment.NewWindowWriter(m.cfg.StreamTo, int(m.cfg.RetainCheckpoints))
+		ww := segment.NewWindowWriter(m.cfg.StreamTo, int(m.cfg.RetainCheckpoints))
+		ww.Compress = m.cfg.CompressStream
+		m.stream = ww
 	} else {
-		m.stream = segment.NewWriter(m.cfg.StreamTo)
+		sw := segment.NewWriter(m.cfg.StreamTo)
+		sw.Compress = m.cfg.CompressStream
+		m.stream = sw
 	}
 	m.stream.WriteManifest(segment.Manifest{
 		ProgramName:         m.prog.Name,

@@ -1,0 +1,150 @@
+package segment_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/capo"
+	"repro/internal/chunk"
+	"repro/internal/isa"
+	"repro/internal/segment"
+)
+
+// buildBulkStream writes a stream whose chunk/input batches are large
+// and regular enough that compression must win, using wr as the sink.
+func buildBulkStream(t *testing.T, wr *segment.Writer) {
+	t.Helper()
+	wr.WriteManifest(segment.Manifest{
+		ProgramName: "bulk", Threads: 2, StackWordsPerThread: 64,
+		EncodingID: chunk.DeltaID, FlushEveryChunks: 256,
+	})
+	var recs []capo.Record
+	entries := [2][]chunk.Entry{}
+	ts := uint64(1)
+	for i := 0; i < 200; i++ {
+		for th := 0; th < 2; th++ {
+			entries[th] = append(entries[th], chunk.Entry{Size: 40, TS: ts, Reason: chunk.ReasonSyscall})
+			ts += 3
+		}
+		recs = append(recs, capo.Record{
+			Kind: capo.KindSyscall, Thread: i % 2, Seq: i / 2, TS: ts,
+			Sysno: 7, Ret: 64, Addr: 0x1000, Data: bytes.Repeat([]byte{byte(i)}, 64),
+		})
+		ts++
+	}
+	wr.WriteCommit(segment.Commit{
+		Epoch:      0,
+		Watermark:  []uint64{ts, ts},
+		Exited:     []bool{false, false},
+		ChunkCount: []int{len(entries[0]), len(entries[1])},
+		InputCount: []int{100, 100},
+	})
+	wr.WriteChunkBatch(0, entries[0])
+	wr.WriteChunkBatch(1, entries[1])
+	wr.WriteInputBatch(recs)
+	wr.WriteFinal(&segment.FinalPayload{
+		MemChecksum:      1,
+		FinalContexts:    []isa.Context{{PC: 1}, {PC: 2}},
+		RetiredPerThread: []uint64{9, 9},
+	})
+	if err := wr.Err(); err != nil {
+		t.Fatalf("writing stream: %v", err)
+	}
+}
+
+// TestCompressedStreamDecodesIdentically is the compressed-segment
+// contract: a compressed stream is smaller, decodes (and salvages) to
+// exactly the stream its uncompressed twin describes, and the
+// compression is invisible above the segment framing layer.
+func TestCompressedStreamDecodesIdentically(t *testing.T) {
+	var plain, comp bytes.Buffer
+	buildBulkStream(t, segment.NewWriter(&plain))
+	cw := segment.NewWriter(&comp)
+	cw.Compress = true
+	buildBulkStream(t, cw)
+
+	if comp.Len() >= plain.Len() {
+		t.Fatalf("compressed stream is %d bytes, uncompressed %d", comp.Len(), plain.Len())
+	}
+	t.Logf("stream: %d bytes plain, %d compressed (%.2fx)",
+		plain.Len(), comp.Len(), float64(plain.Len())/float64(comp.Len()))
+
+	want, err := segment.Decode(plain.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := segment.Decode(comp.Bytes())
+	if err != nil {
+		t.Fatalf("compressed stream no longer decodes: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("compressed stream decodes to a different recording")
+	}
+
+	// Salvage must behave identically too — compression must not change
+	// what a torn compressed stream yields vs its plain twin cut at the
+	// same segment boundary.
+	for _, end := range segment.Offsets(comp.Bytes())[:4] {
+		if _, _, err := segment.Salvage(comp.Bytes()[:end]); err != nil {
+			t.Fatalf("salvage of compressed prefix to %d: %v", end, err)
+		}
+	}
+}
+
+// TestCompressedStreamBitFlipsRejected extends the corruption sweep to
+// compressed segments: flipping bits in a compressed payload must yield
+// a typed error or a clean salvage cut — never a panic or silently
+// wrong data (the CRC covers the on-wire compressed bytes).
+func TestCompressedStreamBitFlipsRejected(t *testing.T) {
+	var comp bytes.Buffer
+	cw := segment.NewWriter(&comp)
+	cw.Compress = true
+	buildBulkStream(t, cw)
+	data := comp.Bytes()
+	for off := 0; off < len(data); off += 97 {
+		bad := append([]byte{}, data...)
+		bad[off] ^= 0x10
+		// Must not panic; any decode that succeeds salvaged a valid prefix.
+		segment.Salvage(bad)
+	}
+}
+
+// TestUncompressibleBatchStaysRaw pins the compress-iff-smaller rule:
+// a batch of incompressible payload bytes is written raw even with
+// Compress on, so enabling compression can never inflate a stream.
+func TestUncompressibleBatchStaysRaw(t *testing.T) {
+	noise := make([]byte, 4096)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range noise {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		noise[i] = byte(x)
+	}
+	write := func(compress bool) []byte {
+		var buf bytes.Buffer
+		w := segment.NewWriter(&buf)
+		w.Compress = compress
+		w.WriteManifest(segment.Manifest{
+			ProgramName: "noise", Threads: 1, EncodingID: chunk.DeltaID, FlushEveryChunks: 4,
+		})
+		w.WriteCommit(segment.Commit{
+			Epoch: 0, Watermark: []uint64{2}, Exited: []bool{false},
+			ChunkCount: []int{1}, InputCount: []int{1},
+		})
+		w.WriteChunkBatch(0, []chunk.Entry{{Size: 4, TS: 1, Reason: chunk.ReasonSyscall}})
+		w.WriteInputBatch([]capo.Record{{
+			Kind: capo.KindSyscall, Thread: 0, TS: 1, Sysno: 7,
+			Ret: uint64(len(noise)), Addr: 0x100, Data: noise,
+		}})
+		if err := w.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	plain, compressed := write(false), write(true)
+	if !bytes.Equal(plain, compressed) {
+		t.Fatalf("incompressible stream changed under Compress: %d vs %d bytes", len(plain), len(compressed))
+	}
+}

@@ -146,6 +146,21 @@ func parseSegment(data []byte, pos int) (rawSegment, error) {
 		return s, fmt.Errorf("%w: checksum mismatch on segment seq %d (%s) at offset %d",
 			ErrCorrupt, s.seq, s.kind, pos)
 	}
+	if s.kind&kindCompressedBit != 0 {
+		// The payload is a wire block frame; expand it after the CRC has
+		// vouched for the on-wire bytes. A block that fails to expand is
+		// corruption the CRC cannot see (a buggy writer), not a torn tail.
+		s.kind &^= kindCompressedBit
+		bc := wire.CursorWith(payload, ErrTruncated, ErrCorrupt)
+		expanded, _, err := wire.DecodeBlock(&bc, nil)
+		if err != nil {
+			return s, fmt.Errorf("segment seq %d (%s) at offset %d: %w", s.seq, s.kind, pos, err)
+		}
+		if err := bc.Done(); err != nil {
+			return s, fmt.Errorf("segment seq %d (%s) at offset %d: %w", s.seq, s.kind, pos, err)
+		}
+		payload = expanded
+	}
 	s.payload = payload
 	s.end = pos + total
 	return s, nil

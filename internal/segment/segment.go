@@ -50,6 +50,13 @@ const (
 	// KindFinal carries the reference final state; its presence marks the
 	// stream complete.
 	KindFinal Kind = 6
+
+	// kindCompressedBit marks a segment whose payload is a wire block
+	// frame (LZ-compressed) instead of the raw payload bytes. Only the
+	// bulk log kinds (chunk, input) are ever compressed, and only when
+	// compression actually shrinks them, so enabling Compress never
+	// inflates a stream. The CRC covers the on-wire (compressed) bytes.
+	kindCompressedBit Kind = 0x80
 )
 
 // String names the kind.
@@ -108,6 +115,13 @@ type Writer struct {
 	seq     uint32
 	closed  bool
 	scratch []byte
+
+	// Compress, when set before the first write, LZ-compresses chunk and
+	// input batch payloads (the bulk of a stream) through the shared wire
+	// block codec. Off by default: the uncompressed stream format is
+	// pinned by golden fixtures, and compressed segments are a strict
+	// extension readable only by post-v2 salvagers.
+	Compress bool
 
 	enc     chunk.Encoding
 	threads int
@@ -170,6 +184,18 @@ func (w *Writer) writeSegment(kind Kind, payload []byte) {
 	if len(payload) > maxPayload {
 		w.err = fmt.Errorf("segment: payload of %d bytes exceeds limit", len(payload))
 		return
+	}
+	var comp *wire.Appender
+	if w.Compress && (kind == KindChunk || kind == KindInput) {
+		comp = wire.GetAppender()
+		defer wire.PutAppender(comp)
+		// Only take the compressed form when it is actually smaller;
+		// otherwise the segment stays byte-identical to an uncompressed
+		// stream's.
+		if wire.AppendBlock(comp, payload) == wire.BlockLZ {
+			kind |= kindCompressedBit
+			payload = comp.Buf
+		}
 	}
 	a := wire.AppenderOf(w.scratch[:0])
 	a.Grow(headerSize + len(payload) + trailerSize)

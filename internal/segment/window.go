@@ -74,6 +74,10 @@ type WindowWriter struct {
 	k   int
 	err error
 
+	// Compress is forwarded to the rendered stream's Writer: the retained
+	// window is buffered in decoded form and compressed only at Close.
+	Compress bool
+
 	man     Manifest
 	haveMan bool
 
@@ -307,6 +311,7 @@ func (w *WindowWriter) render(buf *bytes.Buffer) (*Writer, error) {
 		return nil, fmt.Errorf("segment: window rendered before manifest")
 	}
 	wr := NewWriter(buf)
+	wr.Compress = w.Compress
 	man := w.man
 	man.Window = uint64(w.k)
 	man.BaseCheckpoint = w.intervals[0].anchor != nil

@@ -16,6 +16,7 @@ import "encoding/binary"
 type Cursor struct {
 	data    []byte
 	pos     int
+	overrun bool // a Skip ran past the buffer; every later read fails
 	trunc   error
 	corrupt error
 }
@@ -43,12 +44,56 @@ func (c *Cursor) Remaining() int { return len(c.data) - c.pos }
 func (c *Cursor) Rest() []byte { return c.data[c.pos:] }
 
 // Skip advances past n bytes already consumed externally (e.g. by a
-// sub-decoder handed Rest()).
-func (c *Cursor) Skip(n int) { c.pos += n }
+// sub-decoder handed Rest()). A skip beyond the remaining bytes means
+// the sub-decoder over-reported its consumption: the cursor clamps to
+// the end and poisons itself, so every subsequent read returns the
+// corruption sentinel instead of panicking on a slice bound.
+func (c *Cursor) Skip(n int) {
+	if n < 0 || n > len(c.data)-c.pos {
+		c.pos = len(c.data)
+		c.overrun = true
+		return
+	}
+	c.pos += n
+}
+
+// Sub returns a cursor over data that inherits this cursor's flavored
+// sentinels, for decoding a nested payload (e.g. a compressed block's
+// token stream) with the same error identity as the container.
+func (c *Cursor) Sub(data []byte) Cursor {
+	return Cursor{data: data, trunc: c.trunc, corrupt: c.corrupt}
+}
+
+// poisoned reports the sticky out-of-range-Skip error, if any.
+func (c *Cursor) poisoned() error {
+	if !c.overrun {
+		return nil
+	}
+	return c.corruptf("read after out-of-range skip")
+}
 
 // Uvarint decodes one unsigned LEB128 varint.
 func (c *Cursor) Uvarint() (uint64, error) {
+	if err := c.poisoned(); err != nil {
+		return 0, err
+	}
 	v, n := binary.Uvarint(c.data[c.pos:])
+	if n == 0 {
+		return 0, c.truncated("input ends mid-varint")
+	}
+	if n < 0 {
+		return 0, c.corruptf("varint overflow")
+	}
+	c.pos += n
+	return v, nil
+}
+
+// Varint decodes one zigzag-encoded signed LEB128 varint.
+func (c *Cursor) Varint() (int64, error) {
+	if err := c.poisoned(); err != nil {
+		return 0, err
+	}
+	v, n := binary.Varint(c.data[c.pos:])
 	if n == 0 {
 		return 0, c.truncated("input ends mid-varint")
 	}
@@ -61,6 +106,9 @@ func (c *Cursor) Uvarint() (uint64, error) {
 
 // Byte decodes one raw byte.
 func (c *Cursor) Byte() (byte, error) {
+	if err := c.poisoned(); err != nil {
+		return 0, err
+	}
 	if c.pos >= len(c.data) {
 		return 0, c.truncated("input ends mid-field")
 	}
@@ -72,6 +120,9 @@ func (c *Cursor) Byte() (byte, error) {
 // Raw consumes exactly n bytes. Zero-copy: the result aliases the
 // cursor's data and must not be retained past the decode.
 func (c *Cursor) Raw(n int) ([]byte, error) {
+	if err := c.poisoned(); err != nil {
+		return nil, err
+	}
 	if n < 0 || n > c.Remaining() {
 		return nil, c.truncatedf("%d-byte field overruns buffer", n)
 	}
@@ -109,6 +160,9 @@ func (c *Cursor) Blob() ([]byte, error) {
 
 // U32 decodes a little-endian 32-bit word.
 func (c *Cursor) U32() (uint32, error) {
+	if err := c.poisoned(); err != nil {
+		return 0, err
+	}
 	if c.Remaining() < 4 {
 		return 0, c.truncated("input ends mid-word")
 	}
@@ -119,6 +173,9 @@ func (c *Cursor) U32() (uint32, error) {
 
 // U64 decodes a little-endian 64-bit word.
 func (c *Cursor) U64() (uint64, error) {
+	if err := c.poisoned(); err != nil {
+		return 0, err
+	}
 	if c.Remaining() < 8 {
 		return 0, c.truncated("input ends mid-word")
 	}
@@ -129,7 +186,12 @@ func (c *Cursor) U64() (uint64, error) {
 
 // Done verifies every byte was consumed; trailing bytes are corruption
 // (a decoder that stopped early would silently accept appended garbage).
+// A cursor poisoned by an out-of-range Skip never reports success even
+// though its position sits at the end.
 func (c *Cursor) Done() error {
+	if err := c.poisoned(); err != nil {
+		return err
+	}
 	if c.pos != len(c.data) {
 		return c.corruptf("%d trailing bytes", len(c.data)-c.pos)
 	}

@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Regression: Skip had no bounds check, so a sub-decoder that
+// over-reported its consumed bytes drove pos past len(data) and the
+// next read panicked with a slice-bounds error. An out-of-range skip
+// must instead poison the cursor so every later operation returns the
+// corruption sentinel.
+func TestCursorSkipOverrun(t *testing.T) {
+	reads := []struct {
+		name string
+		op   func(c *Cursor) error
+	}{
+		{"uvarint", func(c *Cursor) error { _, err := c.Uvarint(); return err }},
+		{"byte", func(c *Cursor) error { _, err := c.Byte(); return err }},
+		{"raw", func(c *Cursor) error { _, err := c.Raw(1); return err }},
+		{"raw-zero", func(c *Cursor) error { _, err := c.Raw(0); return err }},
+		{"view", func(c *Cursor) error { _, err := c.View(); return err }},
+		{"blob", func(c *Cursor) error { _, err := c.Blob(); return err }},
+		{"u32", func(c *Cursor) error { _, err := c.U32(); return err }},
+		{"u64", func(c *Cursor) error { _, err := c.U64(); return err }},
+		{"done", func(c *Cursor) error { return c.Done() }},
+	}
+	for _, r := range reads {
+		t.Run(r.name, func(t *testing.T) {
+			c := CursorOf([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+			c.Skip(3)
+			c.Skip(100) // over-reported consumption
+			if c.Remaining() != 0 {
+				t.Fatalf("overrun skip did not clamp: %d remaining", c.Remaining())
+			}
+			err := r.op(&c)
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("%s after overrun skip: got %v, want ErrCorrupt", r.name, err)
+			}
+		})
+	}
+
+	t.Run("negative", func(t *testing.T) {
+		c := CursorOf([]byte{1, 2, 3})
+		c.Skip(-1)
+		if err := c.Done(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("negative skip: got %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("exact-end-is-fine", func(t *testing.T) {
+		c := CursorOf([]byte{1, 2, 3})
+		c.Skip(3)
+		if err := c.Done(); err != nil {
+			t.Fatalf("skip to exact end: %v", err)
+		}
+	})
+
+	t.Run("flavored", func(t *testing.T) {
+		flavor := errors.New("flavored corrupt")
+		c := CursorWith([]byte{1}, errors.New("t"), flavor)
+		c.Skip(2)
+		if _, err := c.Byte(); !errors.Is(err, flavor) {
+			t.Fatalf("poisoned read lost flavored sentinel: %v", err)
+		}
+	})
+}
+
+// Regression: Int silently sign-extended a negative value into a
+// ~10-byte uvarint, planting an enormous count in the log. It must
+// panic at the encode site instead.
+func TestAppenderIntNegativePanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Int(-1) did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "negative") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	var a Appender
+	a.Int(3) // non-negative stays fine
+	a.Int(-1)
+}

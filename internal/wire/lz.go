@@ -1,0 +1,135 @@
+package wire
+
+import "encoding/binary"
+
+// Deterministic byte-oriented LZ77 for block payloads. The format must
+// never change once recordings are stored, so this is deliberately a
+// fixed, dependency-free codec rather than compress/flate (whose output
+// bytes may differ across Go releases, which would break golden-fixture
+// byte identity) — determinism here is a format property, not a nicety.
+//
+// Token stream, repeated until rawLen output bytes exist:
+//
+//	litLen uvarint | literals[litLen]            (always present)
+//	matchLen uvarint | dist uvarint              (absent when the
+//	                                              literals completed
+//	                                              the output)
+//
+// matchLen ≥ lzMinMatch, 1 ≤ dist ≤ bytes-produced-so-far; matches may
+// overlap their own output (dist < matchLen is run-length encoding).
+// The window is unbounded: a match may reach the start of the block,
+// which is what dedupes an input-log data arena against an output blob
+// hundreds of kilobytes earlier.
+//
+// The compressor is greedy with a single-slot hash table over 4-byte
+// windows. That is enough for the short-range redundancy the v2 bundle
+// layout leaves behind (adjacent columns, per-thread chunk logs);
+// long-range structural duplication is removed by the layout itself
+// before bytes reach this layer.
+
+const (
+	lzMinMatch  = 4
+	lzHashBits  = 15
+	lzHashMul   = 2654435761 // Knuth multiplicative hash constant
+	lzTableSize = 1 << lzHashBits
+)
+
+func lzHash(u uint32) uint32 {
+	return (u * lzHashMul) >> (32 - lzHashBits)
+}
+
+func lzLoad32(src []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(src[i:])
+}
+
+// lzAppend appends the token stream for src onto dst. Output is a pure
+// function of src.
+func lzAppend(dst []byte, src []byte) []byte {
+	if len(src) == 0 {
+		return dst // zero declared bytes decode from zero tokens
+	}
+	a := AppenderOf(dst)
+	if len(src) < lzMinMatch {
+		a.Uvarint(uint64(len(src)))
+		a.Raw(src)
+		return a.Buf
+	}
+	table := make([]int32, lzTableSize)
+	lit := 0 // start of the pending literal run
+	i := 1   // position 0 can never match (no earlier bytes)
+	for i+lzMinMatch <= len(src) {
+		cur := lzLoad32(src, i)
+		h := lzHash(cur)
+		j := int(table[h])
+		table[h] = int32(i)
+		if j < i && lzLoad32(src, j) == cur {
+			l := lzMinMatch
+			for i+l < len(src) && src[j+l] == src[i+l] {
+				l++
+			}
+			a.Uvarint(uint64(i - lit))
+			a.Raw(src[lit:i])
+			a.Uvarint(uint64(l))
+			a.Uvarint(uint64(i - j))
+			i += l
+			lit = i
+			continue
+		}
+		i++
+	}
+	if lit < len(src) || lit == 0 {
+		a.Uvarint(uint64(len(src) - lit))
+		a.Raw(src[lit:])
+	}
+	return a.Buf
+}
+
+// lzExpand decodes a token stream into exactly rawLen bytes appended to
+// out, reading tokens from s (which carries the container's flavored
+// sentinels). The stream must consume fully and produce exactly rawLen
+// bytes; anything else is corruption or truncation.
+func lzExpand(out []byte, s *Cursor, rawLen int) ([]byte, error) {
+	for len(out) < rawLen {
+		litLen, err := s.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if litLen > uint64(rawLen-len(out)) {
+			return nil, s.corruptf("literal run %d overflows declared size", litLen)
+		}
+		lits, err := s.Raw(int(litLen))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lits...)
+		if len(out) == rawLen {
+			break
+		}
+		matchLen, err := s.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if matchLen < lzMinMatch || matchLen > uint64(rawLen-len(out)) {
+			return nil, s.corruptf("match length %d out of range", matchLen)
+		}
+		dist, err := s.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if dist == 0 || dist > uint64(len(out)) {
+			return nil, s.corruptf("match distance %d out of range", dist)
+		}
+		j, n := len(out)-int(dist), int(matchLen)
+		if int(dist) >= n {
+			out = append(out, out[j:j+n]...)
+		} else {
+			for k := 0; k < n; k++ { // overlapping: RLE-style byte copy
+				out = append(out, out[j+k])
+			}
+		}
+	}
+	if err := s.Done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,40 @@
+//go:build linux
+
+package wire
+
+import (
+	"os"
+	"syscall"
+)
+
+// MapFile maps path read-only and returns the mapping plus a closer.
+// Decoding a bundle straight out of the mapping through Cursor views is
+// what makes replay's read path allocation-free: the kernel pages log
+// bytes in on demand and nothing is copied until a codec explicitly
+// asks for ownership. The returned bytes are immutable — writing to
+// them faults — and must not be used after the closer runs.
+func MapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.Size() == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Some filesystems refuse mmap; fall back to a plain read so
+		// callers never have to care which path produced the bytes.
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, err
+		}
+		return data, func() error { return nil }, nil
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,16 @@
+//go:build !linux
+
+package wire
+
+import "os"
+
+// MapFile reads path into memory on platforms without the mmap fast
+// path. The contract matches the linux implementation: immutable bytes
+// plus a closer that invalidates them.
+func MapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -25,6 +25,7 @@ package wire
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 )
 
 // ErrTruncated reports input that ends in the middle of a field or
@@ -56,8 +57,21 @@ func (a *Appender) Uvarint(v uint64) { a.Buf = binary.AppendUvarint(a.Buf, v) }
 
 // Int appends a non-negative int as a uvarint. Every count and position
 // field in the formats is logically non-negative; encoding them through
-// one choke point keeps the sign convention uniform.
-func (a *Appender) Int(v int) { a.Buf = binary.AppendUvarint(a.Buf, uint64(v)) }
+// one choke point keeps the sign convention uniform. A negative value is
+// a bug in the caller — it would sign-extend into a ~10-byte uvarint
+// that decodes as an enormous count — so it panics rather than writing
+// corruption into a log.
+func (a *Appender) Int(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("wire: Int(%d): negative value in a non-negative field", v))
+	}
+	a.Buf = binary.AppendUvarint(a.Buf, uint64(v))
+}
+
+// Varint appends v as a zigzag-encoded signed LEB128 varint — the
+// encoding for delta columns whose steps can go either direction
+// (Lamport-timestamp deltas across threads).
+func (a *Appender) Varint(v int64) { a.Buf = binary.AppendVarint(a.Buf, v) }
 
 // Byte appends one raw byte (kind tags, flag bytes, version bytes).
 func (a *Appender) Byte(b byte) { a.Buf = append(a.Buf, b) }

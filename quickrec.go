@@ -146,6 +146,11 @@ type Options struct {
 	// meaningful with CheckpointEveryInstrs, since the window rolls at
 	// checkpoint boundaries; ignored by Record, which keeps no stream.
 	RetainCheckpoints uint64
+	// CompressStream LZ-compresses the segmented stream's chunk and
+	// input batches (StreamRecord only). Streams written with it need a
+	// post-v2 reader; leave it off when the stream must stay readable by
+	// older tooling.
+	CompressStream bool
 	// CaptureSignatures keeps each chunk's serialized read/write Bloom
 	// signatures in the recording, enabling the offline race detector
 	// (Races). Off by default: the signatures are an analysis artefact,
@@ -175,6 +180,7 @@ func (o Options) config(mode machine.RecordingMode) (machine.Config, error) {
 	cfg.CheckpointEveryInstrs = o.CheckpointEveryInstrs
 	cfg.FlushEveryChunks = o.FlushEveryChunks
 	cfg.RetainCheckpoints = o.RetainCheckpoints
+	cfg.CompressStream = o.CompressStream
 	cfg.CaptureSignatures = o.CaptureSignatures
 	if o.Encoding != "" {
 		var found bool
@@ -279,7 +285,16 @@ func RecordAndVerify(prog *Program, opts Options) (*Recording, *ReplayResult, er
 }
 
 // LoadRecording parses a recording serialized with Recording.Marshal.
+// The recording owns its memory; data may be discarded afterwards.
 func LoadRecording(data []byte) (*Recording, error) { return core.UnmarshalBundle(data) }
+
+// OpenRecording maps a recording file read-only and decodes it in
+// place: logs and payloads alias the mapping, so nothing is copied.
+// The returned close function unmaps the file; the recording must not
+// be used after calling it.
+func OpenRecording(path string) (*Recording, func() error, error) {
+	return core.OpenBundleFile(new(core.BundleDecoder), path)
+}
 
 // PauseState is the machine state replay materialised at a breakpoint.
 type PauseState = replay.PauseState
