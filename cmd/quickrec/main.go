@@ -70,17 +70,18 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: quickrec <list|record|replay|verify|salvage|inspect|debug|analyze|race> [flags]
   list                             show the workload catalogue
   record  -w NAME | -prog FILE.qasm [-threads N] [-seed S] [-hw] [-sigs] [-ckpt N] [-stream FILE [-flush N] [-window K]] -o FILE
-  replay  -w NAME -i FILE [-workers N]
+  replay  -w NAME -i FILE [-workers N] [-remote HOST:PORT]
                                    replay a recording; -workers > 1 replays checkpoint
-                                   intervals in parallel (-1 = all CPUs)
-  verify  -w NAME -i FILE [-workers N]
+                                   intervals in parallel (-1 = all CPUs); -remote
+                                   distributes them across a quickrecd worker fleet
+  verify  -w NAME -i FILE [-workers N] [-remote HOST:PORT]
                                    replay and verify against the recording
   salvage -i FILE [-o FILE] [-replay [-workers N]] [-tail]
                                    recover a consistent prefix from a (damaged) stream
   inspect -i FILE                  summarise a recording's logs
   debug   -i FILE -t TID -n COUNT  replay to thread TID's COUNT-th instruction and dump state
   analyze -i FILE                  post-mortem statistics: chunking, conflicts, concurrency
-  race    -i FILE [-json] [-workers N]
+  race    -i FILE [-json] [-workers N] [-remote HOST:PORT]
                                    offline race detection over a -sigs recording`)
 }
 
@@ -253,6 +254,7 @@ func cmdReplay(args []string, verify bool) error {
 	progPath := fs.String("prog", "", "qasm program file (alternative to -w)")
 	in := fs.String("i", "", "recording file")
 	workers := fs.Int("workers", 0, "replay checkpoint intervals on this many workers (0/1 = serial, -1 = all CPUs)")
+	remote := fs.String("remote", "", "distribute intervals across the fleet workers attached to this quickrecd server instead of replaying locally")
 	fs.Parse(args)
 	rec, done, err := loadRecording(fs, *in)
 	if err != nil {
@@ -266,8 +268,18 @@ func cmdReplay(args []string, verify bool) error {
 	if err != nil {
 		return err
 	}
-	rr, err := quickrec.ReplayParallel(prog, rec, *workers)
-	if err != nil {
+	var rr *quickrec.ReplayResult
+	if *remote != "" {
+		client, err := quickrec.DialFleet(*remote)
+		if err != nil {
+			return err
+		}
+		defer client.Close()
+		rr, err = client.Replay(prog, rec)
+		if err != nil {
+			return err
+		}
+	} else if rr, err = quickrec.ReplayParallel(prog, rec, *workers); err != nil {
 		return err
 	}
 	fmt.Printf("replayed %s: %d chunks, %d input records, %d steps\n",
@@ -418,6 +430,7 @@ func cmdRace(args []string) error {
 	in := fs.String("i", "", "recording file (made with record -sigs)")
 	asJSON := fs.Bool("json", false, "emit the full report as JSON")
 	workers := fs.Int("workers", 0, "screen and confirm on this many workers (0/1 = serial, -1 = all CPUs)")
+	remote := fs.String("remote", "", "distribute screening and confirmation across the fleet workers attached to this quickrecd server")
 	fs.Parse(args)
 	rec, done, err := loadRecording(fs, *in)
 	if err != nil {
@@ -431,8 +444,18 @@ func cmdRace(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := quickrec.RacesParallel(prog, rec, *workers)
-	if err != nil {
+	var rep *quickrec.RaceReport
+	if *remote != "" {
+		client, err := quickrec.DialFleet(*remote)
+		if err != nil {
+			return err
+		}
+		defer client.Close()
+		rep, err = client.Races(prog, rec)
+		if err != nil {
+			return err
+		}
+	} else if rep, err = quickrec.RacesParallel(prog, rec, *workers); err != nil {
 		return err
 	}
 	if *asJSON {

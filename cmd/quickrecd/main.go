@@ -7,18 +7,28 @@
 //
 // Usage:
 //
+// The worker mode turns the daemon into a fleet compute node: it
+// attaches to a serve instance's job broker and executes distributed
+// replay and race-detection jobs against bundles fetched from the
+// server's store.
+//
 //	quickrecd serve   -addr 127.0.0.1:7070 -store /var/lib/quickrec
+//	quickrecd worker  -addr 127.0.0.1:7070 -slots 4
 //	quickrecd loadgen -addr 127.0.0.1:7070 -w counter -uploaders 64 -uploads 4
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/ingest"
 	"repro/internal/workload"
 )
@@ -33,6 +43,8 @@ func main() {
 	switch cmd {
 	case "serve":
 		err = cmdServe(args)
+	case "worker":
+		err = cmdWorker(args)
 	case "loadgen":
 		err = cmdLoadgen(args)
 	default:
@@ -46,11 +58,16 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: quickrecd <serve|loadgen> [flags]
+	fmt.Fprintln(os.Stderr, `usage: quickrecd <serve|worker|loadgen> [flags]
   serve   -addr HOST:PORT -store DIR [-shards N] [-queue N] [-credit BYTES]
           [-verifiers N] [-replay-workers N] [-max-upload BYTES] [-statsz SECS]
+          [-job-timeout SECS]
                                    run the ingest server; SIGINT/SIGTERM drain and
                                    print the final /statsz report
+  worker  -addr HOST:PORT [-slots N]
+                                   attach to a server's job broker as a fleet
+                                   compute node and execute distributed replay and
+                                   race-detection jobs until the server goes away
   loadgen -addr HOST:PORT -w NAME[,NAME...] [-threads N] [-uploaders N]
           [-uploads N] [-tenants N] [-torn-every N] [-attempts N]
                                    record the named workloads locally, then replay
@@ -69,6 +86,7 @@ func cmdServe(args []string) error {
 	replayW := fs.Int("replay-workers", cfg.ReplayWorkers, "parallel-replay workers per verification (0 serial, -1 all CPUs)")
 	maxUpload := fs.Int("max-upload", cfg.MaxUploadBytes, "per-upload size cap in bytes")
 	statsz := fs.Int("statsz", 0, "print the /statsz report every N seconds (0 = only at exit)")
+	jobTimeout := fs.Int("job-timeout", 0, "fleet job straggler deadline in seconds (0 = default)")
 	fs.Parse(args)
 	if *store == "" {
 		return fmt.Errorf("serve needs -store DIR")
@@ -81,6 +99,7 @@ func cmdServe(args []string) error {
 	cfg.Verifiers = *verifiers
 	cfg.ReplayWorkers = *replayW
 	cfg.MaxUploadBytes = *maxUpload
+	cfg.JobTimeout = time.Duration(*jobTimeout) * time.Second
 
 	s, err := ingest.NewServer(cfg)
 	if err != nil {
@@ -110,6 +129,26 @@ func cmdServe(args []string) error {
 	s.Serve()
 	s.WaitIdle()
 	fmt.Print(s.Statsz())
+	return nil
+}
+
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	addr := fs.String("addr", "", "fleet server to attach to")
+	slots := fs.Int("slots", runtime.GOMAXPROCS(0), "jobs executed concurrently")
+	fs.Parse(args)
+	if *addr == "" {
+		return fmt.Errorf("worker needs -addr")
+	}
+	fmt.Printf("quickrecd: worker attached to %s, %d slots\n", *addr, *slots)
+	// Run returns when the server connection drops; a remote hangup is
+	// the normal end of a worker's life (server drained), not a fault
+	// worth a non-zero exit.
+	err := (&fleet.Worker{Addr: *addr, Slots: *slots}).Run()
+	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return err
+	}
+	fmt.Println("quickrecd: worker detached")
 	return nil
 }
 

@@ -2,7 +2,7 @@ package analysis
 
 import (
 	"repro/internal/chunk"
-	"repro/internal/pool"
+	"repro/internal/dispatch"
 )
 
 // ChunkPair names two chunks on different threads whose timestamp
@@ -48,9 +48,13 @@ func ConcurrentPairsWorkers(logs []*chunk.Log, workers int) []ChunkPair {
 		return nil
 	}
 	perJob := make([][]ChunkPair, len(jobs))
-	pool.ForEach(pool.Resolve(workers), len(jobs), func(i int) {
-		j := jobs[i]
-		perJob[i] = appendPairs(nil, j.a, spans[j.a], j.b, spans[j.b])
+	dispatch.Local{Workers: workers}.Execute(dispatch.Spec{
+		Tasks: len(jobs),
+		Run: func(i int) error {
+			j := jobs[i]
+			perJob[i] = appendPairs(nil, j.a, spans[j.a], j.b, spans[j.b])
+			return nil
+		},
 	})
 	var pairs []ChunkPair
 	for _, p := range perJob {

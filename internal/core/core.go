@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/capo"
 	"repro/internal/chunk"
+	"repro/internal/dispatch"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/replay"
@@ -149,6 +150,43 @@ func ReplayWorkers(prog *isa.Program, b *Bundle, workers int) (*replay.Result, e
 	}
 	in.Workers = workers
 	return replay.Run(in)
+}
+
+// ReplayDistributed replays the bundle with the interval jobs dispatched
+// through an executor — a fleet executor ships them to remote worker
+// processes that hold the same bundle under the given content digest.
+// The Result is bit-identical to Replay: the interval partition is a
+// pure function of the bundle, and the stitcher is index-ordered.
+func ReplayDistributed(prog *isa.Program, b *Bundle, exec dispatch.Executor, digest string) (*replay.Result, error) {
+	in, err := replayInput(prog, b)
+	if err != nil {
+		return nil, err
+	}
+	in.Exec = exec
+	in.Digest = digest
+	return replay.Run(in)
+}
+
+// ExecReplayJob is the worker side of a JobReplayInterval: rebuild the
+// replay input from the bundle exactly as the dispatcher did and run the
+// one interval the payload names.
+func ExecReplayJob(prog *isa.Program, b *Bundle, payload []byte) ([]byte, error) {
+	in, err := replayInput(prog, b)
+	if err != nil {
+		return nil, err
+	}
+	return replay.ExecIntervalJob(in, payload)
+}
+
+// ReplayJobber builds a cached-partition runner for this bundle's
+// interval jobs: a fleet worker serving many jobs against one bundle
+// partitions once instead of per job. Safe for concurrent Exec calls.
+func ReplayJobber(prog *isa.Program, b *Bundle) (*replay.IntervalRunner, error) {
+	in, err := replayInput(prog, b)
+	if err != nil {
+		return nil, err
+	}
+	return replay.NewIntervalRunner(in), nil
 }
 
 // replayInput builds the replayer's input from a bundle, wiring the

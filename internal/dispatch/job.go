@@ -1,0 +1,129 @@
+package dispatch
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Job kinds. The dispatch layer does not interpret them — they select
+// which domain codec (replay interval, race screening, race
+// confirmation) a fleet worker routes the payload through.
+const (
+	// JobReplayInterval replays one checkpoint-partitioned interval of a
+	// recording (payload: interval index + expected interval count).
+	JobReplayInterval uint8 = 1
+	// JobScreenBlock screens one fixed-size block of Lamport-concurrent
+	// chunk pairs against their Bloom signatures.
+	JobScreenBlock uint8 = 2
+	// JobConfirmSlice confirms races for one slice of the conflict
+	// address space over an access-traced replay.
+	JobConfirmSlice uint8 = 3
+)
+
+// Job is the typed, wire-encoded envelope a remote worker executes: a
+// kind routing it to a domain codec, the content address of the bundle
+// it works on, and an opaque kind-specific parameter payload.
+type Job struct {
+	Kind    uint8
+	Digest  string // content address (lowercase hex SHA-256) of the bundle
+	Payload []byte
+}
+
+// maxJobPayload bounds one job's parameter payload. Job parameters are
+// small (indices and counts); anything large travels by digest.
+const maxJobPayload = 1 << 16
+
+// AppendJob encodes j.
+func AppendJob(a *wire.Appender, j Job) {
+	a.Byte(j.Kind)
+	a.String(j.Digest)
+	a.Blob(j.Payload)
+}
+
+// DecodeJob decodes one Job, validating bounds. The payload aliases
+// data.
+func DecodeJob(data []byte) (Job, error) {
+	var j Job
+	c := wire.CursorOf(data)
+	kind, err := c.Byte()
+	if err != nil {
+		return j, fmt.Errorf("dispatch: job kind: %w", err)
+	}
+	if kind < JobReplayInterval || kind > JobConfirmSlice {
+		return j, fmt.Errorf("dispatch: unknown job kind %d", kind)
+	}
+	j.Kind = kind
+	d, err := c.View()
+	if err != nil {
+		return j, fmt.Errorf("dispatch: job digest: %w", err)
+	}
+	if len(d) == 0 || len(d) > 2*64 {
+		return j, fmt.Errorf("dispatch: job digest length %d", len(d))
+	}
+	j.Digest = string(d)
+	p, err := c.View()
+	if err != nil {
+		return j, fmt.Errorf("dispatch: job payload: %w", err)
+	}
+	if len(p) > maxJobPayload {
+		return j, fmt.Errorf("dispatch: job payload %d bytes exceeds %d", len(p), maxJobPayload)
+	}
+	j.Payload = p
+	if err := c.Done(); err != nil {
+		return j, fmt.Errorf("dispatch: job trailer: %w", err)
+	}
+	return j, nil
+}
+
+// JobResult is the envelope a worker returns for one job: either an
+// error message (the task failed deterministically on the worker) or a
+// kind-specific result payload for Spec.Absorb.
+type JobResult struct {
+	Err     string // non-empty: the task failed; Payload is empty
+	Payload []byte
+}
+
+// AppendJobResult encodes r.
+func AppendJobResult(a *wire.Appender, r JobResult) {
+	a.String(r.Err)
+	a.Blob(r.Payload)
+}
+
+// DecodeJobResult decodes one JobResult. The payload aliases data.
+func DecodeJobResult(data []byte) (JobResult, error) {
+	var r JobResult
+	c := wire.CursorOf(data)
+	e, err := c.View()
+	if err != nil {
+		return r, fmt.Errorf("dispatch: result error: %w", err)
+	}
+	r.Err = string(e)
+	p, err := c.View()
+	if err != nil {
+		return r, fmt.Errorf("dispatch: result payload: %w", err)
+	}
+	r.Payload = p
+	if err := c.Done(); err != nil {
+		return r, fmt.Errorf("dispatch: result trailer: %w", err)
+	}
+	return r, nil
+}
+
+// RemoteError is a task failure that happened on a fleet worker,
+// reconstructed from the result envelope. The original typed error
+// (BoundaryError, DivergenceError, ...) does not survive the wire; its
+// rendered message does, so earliest-error selection still reports the
+// same text a local run would.
+type RemoteError struct {
+	Worker string // worker identity, when known
+	Msg    string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	if e.Worker != "" {
+		return fmt.Sprintf("dispatch: remote task failed on %s: %s", e.Worker, e.Msg)
+	}
+	return "dispatch: remote task failed: " + e.Msg
+}

@@ -25,7 +25,7 @@ func runExp(t *testing.T, id string) string {
 }
 
 func TestAllExperimentsRegistered(t *testing.T) {
-	want := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10"}
+	want := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10", "A11"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("%d experiments registered, want %d", len(all), len(want))
@@ -355,5 +355,25 @@ func TestA10ShootoutHeadline(t *testing.T) {
 	}
 	if ratio, _ := strconv.ParseFloat(m[1], 64); ratio < 2.0 {
 		t.Errorf("A10 ioheavy v2-lz ratio %.2fx, want >= 2x", ratio)
+	}
+}
+
+func TestA11FleetScaling(t *testing.T) {
+	out := runExp(t, "A11")
+	if !strings.Contains(out, "Fleet replay/screen cost") {
+		t.Fatalf("A11 output missing title:\n%s", out)
+	}
+	for _, name := range []string{"fft", "water", "racy"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("A11 output missing benchmark %s", name)
+		}
+	}
+	if strings.Contains(out, "DIVERGED") || strings.Contains(out, "VERIFY FAIL") {
+		t.Fatalf("A11 reports a distributed divergence:\n%s", out)
+	}
+	// Every (benchmark, fleet size) cell must be bit-identical to serial:
+	// 3 benchmarks x 3 worker counts.
+	if n := strings.Count(out, "OK (identical)"); n != 9 {
+		t.Fatalf("A11 verified %d cells, want 9:\n%s", n, out)
 	}
 }

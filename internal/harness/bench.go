@@ -12,7 +12,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/ingest"
+	"repro/internal/isa"
 	"repro/internal/races"
 	"repro/internal/workload"
 )
@@ -43,7 +45,7 @@ type BenchResult struct {
 // versions; ingest:fanin pushes a 64-uploader fleet through a loopback
 // ingest server, so it pins the service path end to end (framing,
 // sharding, store, verification).
-var BaselineWorkloads = []string{"counter", "ioheavy", "repcopy", "screen:racy", "replay:par", "screen:par", "codec:counter", "codec:v2", "flight:window", "ingest:fanin"}
+var BaselineWorkloads = []string{"counter", "ioheavy", "repcopy", "screen:racy", "replay:par", "screen:par", "replay:dist", "screen:dist", "codec:counter", "codec:v2", "flight:window", "ingest:fanin"}
 
 // allocMeter samples the runtime's allocation counters around a measured
 // loop. The harness is library code, so it cannot use testing.B's
@@ -199,6 +201,98 @@ func MeasureReplayThroughput(threads, cores, workers, runs int) (*BenchResult, e
 		start := time.Now()
 		if _, err := core.ReplayWorkers(prog, rec, workers); err != nil {
 			return nil, fmt.Errorf("harness: bench replay failed: %w", err)
+		}
+		if tput := float64(instrs) / time.Since(start).Seconds(); tput > res.InstrsPerSec {
+			res.InstrsPerSec = tput
+		}
+	}
+	meter.stop(res, runs)
+	return res, nil
+}
+
+// benchDistWorkers is the loopback fleet size behind the replay:dist
+// and screen:dist baselines — two in-process workers, the smallest
+// fleet where distribution is real.
+const benchDistWorkers = 2
+
+// MeasureDistThroughput times the fleet dispatch path end to end: a
+// loopback broker server, benchDistWorkers in-process workers, and a
+// client shipping per-interval replay jobs (kind "replay") or
+// signature-screening blocks (kind "screen") through them — upload,
+// job framing, bundle fetch and result chunking included. Throughput is
+// recorded instructions processed per second of host wall time, so the
+// dispatch tax is directly readable against replay:par and screen:par.
+func MeasureDistThroughput(kind string, threads, cores, runs int) (*BenchResult, error) {
+	// Fleet workers re-derive the program from the bundle's manifest
+	// name, so this bench must record a catalogue workload as-is — a
+	// custom-sized variant sharing a catalogue name would silently
+	// rebuild differently on the worker (and be caught as divergence).
+	cfg := recordConfig(cores, threads, 1)
+	var prog *isa.Program
+	var err error
+	switch kind {
+	case "replay":
+		if prog, err = buildProgram("counter", threads); err != nil {
+			return nil, err
+		}
+		cfg.CheckpointEveryInstrs = 2000 // a dozen-plus intervals to ship
+	case "screen":
+		if prog, err = buildProgram("racy", threads); err != nil {
+			return nil, err
+		}
+		cfg.CaptureSignatures = true
+	default:
+		return nil, fmt.Errorf("harness: unknown dist bench kind %q", kind)
+	}
+	rec, err := core.Record(prog, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("harness: bench recording for %s:dist failed: %w", kind, err)
+	}
+	var instrs uint64
+	for _, r := range rec.RetiredPerThread {
+		instrs += r
+	}
+	dir, err := os.MkdirTemp("", "quickrec-dist-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	scfg := ingest.DefaultConfig()
+	scfg.StoreDir = dir
+	srv, err := ingest.NewServer(scfg)
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve()
+	defer srv.Close()
+	for i := 0; i < benchDistWorkers; i++ {
+		go (&fleet.Worker{Addr: srv.Addr(), Slots: 2}).Run()
+	}
+	client, err := fleet.Dial(srv.Addr())
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+
+	if runs < 1 {
+		runs = 1
+	}
+	res := &BenchResult{Workload: kind + ":dist", Threads: threads, Cores: cores, Instrs: instrs}
+	var meter allocMeter
+	meter.start()
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		switch kind {
+		case "replay":
+			_, err = client.Replay(prog, rec)
+		case "screen":
+			var digest string
+			if digest, err = client.Upload(rec); err == nil {
+				_, err = races.ScreenExec(rec, client, digest)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("harness: bench %s:dist failed: %w", kind, err)
 		}
 		if tput := float64(instrs) / time.Since(start).Seconds(); tput > res.InstrsPerSec {
 			res.InstrsPerSec = tput
@@ -455,14 +549,20 @@ func MeasureCodecThroughput(name string, threads, cores, runs int, format core.F
 // screening phase over a recording of <name>, "screen:par" the same
 // phase for racy on a 4-worker pool, "replay:par" the
 // checkpoint-partitioned parallel replay engine on 4 workers,
-// "codec:<name>" steady-state v1 bundle decoding of <name>, and
-// "codec:v2" the same counter recording through the v2 wire format.
+// "replay:dist"/"screen:dist" the same work shipped through a loopback
+// worker fleet, "codec:<name>" steady-state v1 bundle decoding of
+// <name>, and "codec:v2" the same counter recording through the v2 wire
+// format.
 func measureWorkload(name string, threads, cores, runs int) (*BenchResult, error) {
 	switch name {
 	case "replay:par":
 		return MeasureReplayThroughput(threads, cores, 4, runs)
 	case "screen:par":
 		return MeasureScreenThroughput("racy", threads, cores, 4, runs)
+	case "replay:dist":
+		return MeasureDistThroughput("replay", threads, cores, runs)
+	case "screen:dist":
+		return MeasureDistThroughput("screen", threads, cores, runs)
 	case "flight:window":
 		return MeasureWindowThroughput(threads, cores, runs)
 	case "ingest:fanin":

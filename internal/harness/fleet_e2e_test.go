@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/ingest"
+	"repro/internal/races"
+	"repro/internal/workload"
+)
+
+// buildQuickrecd compiles the daemon binary into a test temp dir so the
+// e2e test runs real worker processes, not goroutines.
+func buildQuickrecd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "quickrecd")
+	out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/quickrecd").CombinedOutput()
+	if err != nil {
+		t.Fatalf("build quickrecd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestFleetMultiProcessE2E is the distributed-analysis conformance cell
+// with real process isolation: an in-process broker server, two
+// quickrecd worker processes attached to it, a distributed replay
+// checked bit-for-bit against a local one — then one worker killed with
+// SIGKILL mid-race-detection, whose in-flight jobs must be re-dispatched
+// to the survivor without changing a byte of the report.
+func TestFleetMultiProcessE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	bin := buildQuickrecd(t)
+
+	cfg := ingest.DefaultConfig()
+	cfg.StoreDir = t.TempDir()
+	cfg.JobTimeout = 2 * time.Second
+	srv, err := ingest.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	workers := make([]*exec.Cmd, 2)
+	for i := range workers {
+		w := exec.Command(bin, "worker", "-addr", srv.Addr(), "-slots", "2")
+		if err := w.Start(); err != nil {
+			t.Fatalf("start worker %d: %v", i, err)
+		}
+		workers[i] = w
+		t.Cleanup(func() {
+			w.Process.Kill()
+			w.Wait()
+		})
+	}
+
+	spec, ok := workload.ByName("racy")
+	if !ok {
+		t.Fatal("racy workload missing from catalogue")
+	}
+	prog := spec.Build(3)
+	mcfg := recordConfig(2, 3, 5)
+	mcfg.CheckpointEveryInstrs = 500
+	mcfg.CaptureSignatures = true
+	rec, err := core.Record(prog, mcfg)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+
+	client, err := fleet.Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial fleet: %v", err)
+	}
+	defer client.Close()
+
+	// Phase 1: both worker processes healthy; the distributed replay is
+	// bit-identical to the local one and passes verification.
+	got, err := client.Replay(prog, rec)
+	if err != nil {
+		t.Fatalf("distributed replay: %v", err)
+	}
+	want, err := core.Replay(prog, rec)
+	if err != nil {
+		t.Fatalf("local replay: %v", err)
+	}
+	if got.MemChecksum != want.MemChecksum || !bytes.Equal(got.Output, want.Output) ||
+		got.Steps != want.Steps {
+		t.Fatalf("distributed replay diverged: sum %#x/%#x, %d/%d steps",
+			got.MemChecksum, want.MemChecksum, got.Steps, want.Steps)
+	}
+	if err := core.Verify(rec, got); err != nil {
+		t.Fatalf("distributed replay fails verification: %v", err)
+	}
+
+	// Phase 2: SIGKILL one worker while race detection is in flight. Its
+	// connection teardown requeues whatever it held; the surviving
+	// process finishes, and the report matches the local detector's.
+	killed := make(chan error, 1)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		killed <- workers[0].Process.Kill()
+	}()
+	gotRep, err := client.Races(prog, rec)
+	if err != nil {
+		t.Fatalf("distributed races with dying worker: %v", err)
+	}
+	if err := <-killed; err != nil {
+		t.Fatalf("kill worker 0: %v", err)
+	}
+	wantRep, err := races.Detect(prog, rec)
+	if err != nil {
+		t.Fatalf("local races: %v", err)
+	}
+	if !reflect.DeepEqual(wantRep, gotRep) {
+		t.Errorf("race reports differ after worker kill:\nfleet: %+v\nlocal: %+v", gotRep, wantRep)
+	}
+	if len(wantRep.Races) == 0 {
+		t.Error("racy workload confirmed no races — test is vacuous")
+	}
+}

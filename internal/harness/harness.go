@@ -176,6 +176,11 @@ func runCell(cfg Config, rep *Report, name string, prog *isa.Program, cores int)
 				Workload: name, Cores: cores, Property: pr.Property, Err: pr.Err,
 			})
 		}
+		if pr := checkDistributed(prog, mcfg); pr != nil {
+			rep.Meta = append(rep.Meta, MetaResult{
+				Workload: name, Cores: cores, Property: pr.Property, Err: pr.Err,
+			})
+		}
 		for _, pr := range checkWindowed(prog, mcfg) {
 			rep.Meta = append(rep.Meta, MetaResult{
 				Workload: name, Cores: cores, Property: pr.Property, Err: pr.Err,

@@ -31,10 +31,11 @@ func TestRunSmallMatrix(t *testing.T) {
 	if fails := rep.MetaFailures(); len(fails) != 0 {
 		t.Errorf("metamorphic failures: %v", fails)
 	}
-	// Five base properties plus parallel-replay-matches-serial and the
-	// two flight-recorder window properties per cell; neither workload
-	// here declares a race expectation.
-	wantMeta := len(cfg.Workloads) * len(cfg.Cores) * 8
+	// Five base properties plus parallel-replay-matches-serial,
+	// distributed-matches-serial and the two flight-recorder window
+	// properties per cell; neither workload here declares a race
+	// expectation.
+	wantMeta := len(cfg.Workloads) * len(cfg.Cores) * 9
 	if got := len(rep.Meta); got != wantMeta {
 		t.Errorf("metamorphic results: got %d, want %d", got, wantMeta)
 	}

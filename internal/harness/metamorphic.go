@@ -3,10 +3,14 @@ package harness
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"reflect"
 
 	"repro/internal/capo"
 	"repro/internal/chunk"
 	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/ingest"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/races"
@@ -29,6 +33,7 @@ const (
 	PropReplayDeterminism    = "replay-twice-is-identical"
 	PropRaceExpectation      = "race-expectation-holds"
 	PropParallelReplay       = "parallel-replay-matches-serial"
+	PropDistributed          = "distributed-matches-serial"
 	PropReencodeIdentity     = "reencode-is-identity"
 	PropWindowedTail         = "windowed-tail-matches-unbounded"
 	PropWindowMonotone       = "window-size-monotone"
@@ -237,6 +242,99 @@ func checkParallelReplay(prog *isa.Program, cfg machine.Config) *PropertyResult 
 		}
 		if err := core.Verify(rec, par); err != nil {
 			return fmt.Errorf("parallel replay fails verification: %w", err)
+		}
+		return nil
+	}()
+	if err != nil {
+		pr.Err = err.Error()
+	}
+	return pr
+}
+
+// checkDistributed pins the fleet executor's defining property:
+// shipping a recording's replay intervals, screening blocks and
+// confirmation slices to remote workers produces results bit-identical
+// to serial local runs. The property stands up a loopback fleet — an
+// ingest server with its job broker plus two in-process workers — per
+// cell, records its own checkpointed signature-capturing bundle under
+// the cell's config, and compares the fleet replay and race report
+// against serial ones field by field.
+func checkDistributed(prog *isa.Program, cfg machine.Config) *PropertyResult {
+	pr := &PropertyResult{Property: PropDistributed}
+	err := func() error {
+		cfg.CheckpointEveryInstrs = 500
+		cfg.CaptureSignatures = true
+		rec, err := core.Record(prog, cfg)
+		if err != nil {
+			return fmt.Errorf("checkpointed recording failed: %w", err)
+		}
+		dir, err := os.MkdirTemp("", "quickrec-fleet-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		scfg := ingest.DefaultConfig()
+		scfg.StoreDir = dir
+		scfg.Shards = 1
+		scfg.Verifiers = 1
+		srv, err := ingest.NewServer(scfg)
+		if err != nil {
+			return fmt.Errorf("fleet server: %w", err)
+		}
+		go srv.Serve()
+		defer srv.Close()
+		for i := 0; i < 2; i++ {
+			go (&fleet.Worker{Addr: srv.Addr(), Slots: 2}).Run()
+		}
+		client, err := fleet.Dial(srv.Addr())
+		if err != nil {
+			return fmt.Errorf("fleet dial: %w", err)
+		}
+		defer client.Close()
+
+		serial, err := core.ReplayWorkers(prog, rec, 1)
+		if err != nil {
+			return fmt.Errorf("serial replay: %w", err)
+		}
+		dist, err := client.Replay(prog, rec)
+		if err != nil {
+			return fmt.Errorf("distributed replay: %w", err)
+		}
+		if serial.MemChecksum != dist.MemChecksum {
+			return fmt.Errorf("memory checksums differ: %#x vs %#x", serial.MemChecksum, dist.MemChecksum)
+		}
+		if !bytes.Equal(serial.Output, dist.Output) {
+			return fmt.Errorf("outputs differ: %d vs %d bytes", len(serial.Output), len(dist.Output))
+		}
+		if serial.Steps != dist.Steps || serial.ChunksExecuted != dist.ChunksExecuted ||
+			serial.InputsApplied != dist.InputsApplied {
+			return fmt.Errorf("counters differ: steps %d/%d chunks %d/%d inputs %d/%d",
+				serial.Steps, dist.Steps, serial.ChunksExecuted, dist.ChunksExecuted,
+				serial.InputsApplied, dist.InputsApplied)
+		}
+		for t := range serial.FinalContexts {
+			if serial.FinalContexts[t] != dist.FinalContexts[t] {
+				return fmt.Errorf("thread %d final context differs", t)
+			}
+		}
+		if !serial.FinalMem.Equal(dist.FinalMem) {
+			return fmt.Errorf("final memory images differ")
+		}
+		if err := core.Verify(rec, dist); err != nil {
+			return fmt.Errorf("distributed replay fails verification: %w", err)
+		}
+
+		sRep, err := races.Detect(prog, rec)
+		if err != nil {
+			return fmt.Errorf("serial race detection: %w", err)
+		}
+		dRep, err := client.Races(prog, rec)
+		if err != nil {
+			return fmt.Errorf("distributed race detection: %w", err)
+		}
+		if !reflect.DeepEqual(sRep, dRep) {
+			return fmt.Errorf("race reports differ: serial %d races / %d candidates, distributed %d / %d",
+				len(sRep.Races), len(sRep.Candidates), len(dRep.Races), len(dRep.Candidates))
 		}
 		return nil
 	}()

@@ -5,6 +5,8 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"net"
 	"time"
 
@@ -33,11 +35,25 @@ func IsRetryable(err error) bool {
 // Client is one recorder's connection to the ingest fleet. A client
 // carries one upload session; it is not safe for concurrent use.
 type Client struct {
-	conn    net.Conn
-	br      *bufio.Reader
-	credit  int
-	chunk   int
-	version byte // negotiated protocol version, set by hello
+	conn       net.Conn
+	br         *bufio.Reader
+	credit     int
+	chunk      int
+	version    byte // negotiated protocol version, set by hello
+	maxVersion byte // highest version to offer; 0 means protoVersionMax
+}
+
+// SetMaxVersion caps the protocol version this client offers — the
+// mixed-version interop tests use it to impersonate an old client
+// against a new server. Must be called before Upload.
+func (c *Client) SetMaxVersion(v byte) { c.maxVersion = v }
+
+// offerVersion is the version hello offers.
+func (c *Client) offerVersion() byte {
+	if c.maxVersion != 0 {
+		return c.maxVersion
+	}
+	return protoVersionMax
 }
 
 // uploadChunk is the default DATA frame payload size.
@@ -86,7 +102,7 @@ func (c *Client) recv() (FrameKind, []byte, error) {
 // hello negotiates the session and the initial credit.
 func (c *Client) hello(tenant string, sizeHint uint64) error {
 	a := wire.GetAppender()
-	appendHello(a, helloPayload{Version: protoVersionMax, Tenant: tenant, SizeHint: sizeHint})
+	appendHello(a, helloPayload{Version: c.offerVersion(), Tenant: tenant, SizeHint: sizeHint})
 	err := c.send(FrameHello, a.Buf)
 	wire.PutAppender(a)
 	if err != nil {
@@ -105,9 +121,9 @@ func (c *Client) hello(tenant string, sizeHint uint64) error {
 	}
 	// The server may negotiate down from the offer, never up past it and
 	// never below the client's floor.
-	if w.Version < protoVersionMin || w.Version > protoVersionMax {
+	if w.Version < protoVersionMin || w.Version > c.offerVersion() {
 		return fmt.Errorf("%w: server negotiated version %d, client speaks %d..%d",
-			ErrFrame, w.Version, protoVersionMin, protoVersionMax)
+			ErrFrame, w.Version, protoVersionMin, c.offerVersion())
 	}
 	c.version = w.Version
 	if w.Credit == 0 {
@@ -148,13 +164,35 @@ func (c *Client) sendData(stream []byte) error {
 		if n > len(stream)-off {
 			n = len(stream) - off
 		}
-		if err := c.send(FrameData, stream[off:off+n]); err != nil {
+		if err := c.sendChunk(stream[off : off+n]); err != nil {
 			return err
 		}
+		// Credit is accounted in decoded bytes on both sides, so the flow-
+		// control loop is oblivious to whether a chunk traveled compressed.
 		c.credit -= n
 		off += n
 	}
 	return nil
+}
+
+// sendChunk sends one run of stream bytes, compressed when the
+// negotiated version allows it and compression actually wins: on v3
+// sessions the chunk is block-compressed and sent as DATAZ iff the
+// framed form (CRC + block) is smaller than the raw bytes — log streams
+// are usually highly compressible, already-dense chunks fall back to
+// plain DATA. Pre-v3 sessions never see a DATAZ frame.
+func (c *Client) sendChunk(chunk []byte) error {
+	if c.version >= 3 {
+		a := wire.GetAppender()
+		appendDataZ(a, chunk)
+		if len(a.Buf) < len(chunk) {
+			err := c.send(FrameDataZ, a.Buf)
+			wire.PutAppender(a)
+			return err
+		}
+		wire.PutAppender(a)
+	}
+	return c.send(FrameData, chunk)
 }
 
 // Upload sends one recorded stream under tenant and returns the
@@ -216,8 +254,39 @@ func (c *Client) UploadTorn(tenant string, stream []byte, cut int) error {
 	return c.conn.Close()
 }
 
-// Upload dials addr and uploads stream under tenant, retrying shed
-// (retryable) rejections with linear backoff up to attempts tries.
+// backoffCapFactor bounds the exponential retry backoff at
+// base << backoffCapFactor — with the default base that keeps the
+// worst-case sleep in seconds, not minutes, while still spreading a
+// thundering herd across an order of magnitude.
+const backoffCapFactor = 6
+
+// retryDelay computes the sleep before retry attempt (1-based): capped
+// exponential backoff with deterministic, seed-jittered spread. The
+// uncapped exponent doubles from base; the jitter draws the actual
+// delay uniformly from [exp/2, exp), seeded by (tenant, attempt) — the
+// same uploader retries on the same schedule every run (reproducible
+// tests), while distinct tenants shed from one overload burst retry at
+// different times instead of re-stampeding in lockstep.
+func retryDelay(tenant string, attempt int, base time.Duration) time.Duration {
+	if base <= 0 || attempt < 1 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > backoffCapFactor {
+		shift = backoffCapFactor
+	}
+	exp := base << shift
+	h := fnv.New64a()
+	io.WriteString(h, tenant)
+	fmt.Fprintf(h, "/%d", attempt)
+	frac := float64(h.Sum64()>>11) / float64(1<<53) // uniform [0, 1)
+	return exp/2 + time.Duration(frac*float64(exp/2))
+}
+
+// Upload dials addr and uploads stream under tenant, retrying dial
+// failures and shed (retryable) rejections up to attempts tries. The
+// sleep between tries is capped exponential from backoff with
+// deterministic per-tenant jitter — see retryDelay.
 func Upload(addr, tenant string, stream []byte, attempts int, backoff time.Duration) (digest string, duplicate bool, retries int, err error) {
 	if attempts < 1 {
 		attempts = 1
@@ -225,7 +294,7 @@ func Upload(addr, tenant string, stream []byte, attempts int, backoff time.Durat
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
 			retries++
-			time.Sleep(time.Duration(i) * backoff)
+			time.Sleep(retryDelay(tenant, i, backoff))
 		}
 		var c *Client
 		c, err = Dial(addr)

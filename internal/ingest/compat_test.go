@@ -1,0 +1,97 @@
+package ingest
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestRetryDelayBoundedAndDeterministic pins the upload backoff policy:
+// the delay grows exponentially but is capped at base<<backoffCapFactor,
+// jitter keeps every delay inside [exp/2, exp), the schedule is a pure
+// function of (tenant, attempt), and distinct tenants land on distinct
+// points of the window so a shed burst does not re-converge.
+func TestRetryDelayBoundedAndDeterministic(t *testing.T) {
+	const base = 10 * time.Millisecond
+	for attempt := 1; attempt <= 20; attempt++ {
+		shift := attempt - 1
+		if shift > backoffCapFactor {
+			shift = backoffCapFactor
+		}
+		exp := base << shift
+		d := retryDelay("sphere-a", attempt, base)
+		if d < exp/2 || d >= exp {
+			t.Errorf("attempt %d: delay %v outside [%v, %v)", attempt, d, exp/2, exp)
+		}
+		if d2 := retryDelay("sphere-a", attempt, base); d2 != d {
+			t.Errorf("attempt %d: delay not deterministic (%v then %v)", attempt, d, d2)
+		}
+		if ceil := base << backoffCapFactor; d >= ceil {
+			t.Errorf("attempt %d: delay %v at or above the cap %v", attempt, d, ceil)
+		}
+	}
+
+	// Thirty-two tenants retrying the same attempt must not synchronize:
+	// the jitter seed includes the tenant, so the delays spread out.
+	distinct := map[time.Duration]bool{}
+	for i := 0; i < 32; i++ {
+		distinct[retryDelay(string(rune('a'+i)), 4, base)] = true
+	}
+	if len(distinct) < 16 {
+		t.Errorf("32 tenants share only %d distinct delays — retries would synchronize", len(distinct))
+	}
+}
+
+// TestMixedVersionCompression covers the DATA-plane compression
+// negotiation across protocol versions: a v3 pair compresses on the
+// wire and still stores (and acks) the exact uploaded bytes, while
+// either side capped at v2 silently falls back to plain DATA frames.
+func TestMixedVersionCompression(t *testing.T) {
+	// A synthetic, highly compressible payload: compression is
+	// compress-iff-smaller per frame, so repetition guarantees the v3
+	// path actually takes it.
+	stream := bytes.Repeat([]byte("quickrec chunk log bytes "), 1<<12)
+
+	upload := func(t *testing.T, s *Server, clientMax byte) string {
+		t.Helper()
+		c, err := Dial(s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if clientMax != 0 {
+			c.SetMaxVersion(clientMax)
+		}
+		digest, dup, err := c.Upload("sphere-mix", stream)
+		if err != nil || dup {
+			t.Fatalf("upload: %s dup=%v err=%v", digest, dup, err)
+		}
+		stored, err := s.Store().Get(digest)
+		if err != nil || !bytes.Equal(stored, stream) {
+			t.Fatalf("stored bytes differ from upload: %v", err)
+		}
+		return digest
+	}
+
+	t.Run("v3-client-v3-server", func(t *testing.T) {
+		s := startServer(t, nil)
+		upload(t, s, 0)
+		if n := s.Counters().FramesCompressed; n == 0 {
+			t.Error("v3/v3 upload of compressible data compressed no frames")
+		}
+	})
+	t.Run("v3-client-v2-server", func(t *testing.T) {
+		s := startServer(t, func(cfg *Config) { cfg.MaxVersion = 2 })
+		upload(t, s, 0)
+		if n := s.Counters().FramesCompressed; n != 0 {
+			t.Errorf("v2 server decoded %d compressed frames", n)
+		}
+	})
+	t.Run("v2-client-v3-server", func(t *testing.T) {
+		s := startServer(t, nil)
+		upload(t, s, 2)
+		if n := s.Counters().FramesCompressed; n != 0 {
+			t.Errorf("v2 client produced %d compressed frames", n)
+		}
+	})
+}

@@ -49,6 +49,28 @@ const (
 	FrameAck FrameKind = 6
 	// FrameError rejects the session with a typed, possibly retryable code.
 	FrameError FrameKind = 7
+
+	// v3 kinds: compressed data plane and the fleet job plane.
+
+	// FrameDataZ carries a block-compressed run of segmented-stream bytes
+	// with a CRC over the on-wire block. Only valid once both sides
+	// negotiated v3.
+	FrameDataZ FrameKind = 8
+	// FrameAttach opens a fleet session (worker or submitter) instead of
+	// an upload. Answered by WELCOME.
+	FrameAttach FrameKind = 9
+	// FrameJob carries one job envelope: submitter to server, server to
+	// worker.
+	FrameJob FrameKind = 10
+	// FrameResult carries one job's result (possibly chunked): worker to
+	// server, server to submitter.
+	FrameResult FrameKind = 11
+	// FrameFetch opens a blob-fetch session: a worker asks for a stored
+	// bundle by digest and the server streams DATA frames plus a FINISH.
+	FrameFetch FrameKind = 12
+
+	// frameKindMax is the highest kind this build understands.
+	frameKindMax = FrameFetch
 )
 
 // String names the kind.
@@ -68,6 +90,16 @@ func (k FrameKind) String() string {
 		return "ack"
 	case FrameError:
 		return "error"
+	case FrameDataZ:
+		return "dataz"
+	case FrameAttach:
+		return "attach"
+	case FrameJob:
+		return "job"
+	case FrameResult:
+		return "result"
+	case FrameFetch:
+		return "fetch"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -76,14 +108,16 @@ const (
 	// protoVersionMin and protoVersionMax bound the ingest protocol
 	// versions spoken by this package. v2 is identical to v1 on the wire
 	// — every payload already carries trailer checks, so nothing needed
-	// to change — but negotiating it proves the HELLO/WELCOME version
-	// path end to end before a payload-changing revision depends on it.
+	// to change — but negotiating it proved the HELLO/WELCOME version
+	// path end to end before v3 depended on it. v3 adds the compressed
+	// data plane (DATAZ frames on uploads, used only when both sides
+	// negotiated v3) and the fleet job plane (ATTACH/JOB/RESULT/FETCH).
 	// The client offers the newest version it speaks; the server answers
 	// WELCOME with min(offered, protoVersionMax) and rejects only offers
 	// below its floor, so future clients degrade gracefully against old
 	// fleets and vice versa.
 	protoVersionMin = 1
-	protoVersionMax = 2
+	protoVersionMax = 3
 	// frameHeaderSize is plen u32 + kind u8.
 	frameHeaderSize = 4 + 1
 	// maxFramePayload bounds one frame; longer plen fields are treated as
@@ -119,7 +153,7 @@ func DecodeFrame(data []byte) (kind FrameKind, payload, rest []byte, err error) 
 		return 0, nil, data, fmt.Errorf("%w: %d-byte payload exceeds %d", ErrFrame, plen, maxFramePayload)
 	}
 	kind = FrameKind(data[4])
-	if kind < FrameHello || kind > FrameError {
+	if kind < FrameHello || kind > frameKindMax {
 		return 0, nil, data, fmt.Errorf("%w: unknown kind %d", ErrFrame, data[4])
 	}
 	end := frameHeaderSize + int(plen)
@@ -142,7 +176,7 @@ func readFrame(r io.Reader) (FrameKind, []byte, error) {
 		return 0, nil, fmt.Errorf("%w: %d-byte payload exceeds %d", ErrFrame, plen, maxFramePayload)
 	}
 	kind := FrameKind(hdr[4])
-	if kind < FrameHello || kind > FrameError {
+	if kind < FrameHello || kind > frameKindMax {
 		return 0, nil, fmt.Errorf("%w: unknown kind %d", ErrFrame, hdr[4])
 	}
 	payload := make([]byte, plen)
@@ -310,6 +344,8 @@ const (
 	CodeTooLarge ErrorCode = 4
 	// CodeShuttingDown sheds a session because the server is draining.
 	CodeShuttingDown ErrorCode = 5
+	// CodeNotFound reports a FETCH for a digest the store does not hold.
+	CodeNotFound ErrorCode = 6
 )
 
 // String names the code.
@@ -325,6 +361,8 @@ func (c ErrorCode) String() string {
 		return "too-large"
 	case CodeShuttingDown:
 		return "shutting-down"
+	case CodeNotFound:
+		return "not-found"
 	}
 	return fmt.Sprintf("code(%d)", uint8(c))
 }

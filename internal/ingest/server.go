@@ -47,6 +47,14 @@ type Config struct {
 	// WriteTimeout bounds every server-side frame write, so a reader that
 	// stopped draining its socket cannot wedge a shard worker.
 	WriteTimeout time.Duration
+	// MaxVersion caps the protocol version the server negotiates (0:
+	// protoVersionMax). The mixed-version interop tests use it to stand
+	// up an old-protocol server against new clients.
+	MaxVersion int
+	// JobTimeout is how long a dispatched fleet job may stay in flight on
+	// one worker before the broker re-dispatches it to another (straggler
+	// or dead-worker recovery). 0 selects a 30s default.
+	JobTimeout time.Duration
 }
 
 // DefaultConfig returns the production-shaped defaults on a loopback
@@ -102,6 +110,7 @@ type Server struct {
 	shards   []*shard
 	verifier *verifierPool
 	verdicts *verdictBoard
+	broker   *broker
 	ctrs     counters
 
 	mu     sync.Mutex
@@ -134,6 +143,7 @@ func NewServer(cfg Config) (*Server, error) {
 		conns:    make(map[net.Conn]struct{}),
 	}
 	s.verifier = newVerifierPool(cfg.Verifiers, cfg.ReplayWorkers, s.verdicts)
+	s.broker = newBroker(s, cfg.JobTimeout)
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{ch: make(chan shardMsg, cfg.QueueDepth)}
 		s.shards = append(s.shards, sh)
@@ -194,8 +204,17 @@ func (s *Server) Close() error {
 		close(sh.ch)
 	}
 	s.shardWG.Wait()
+	s.broker.close()
 	s.verifier.close()
 	return err
+}
+
+// maxVersion is the protocol ceiling the server negotiates down to.
+func (s *Server) maxVersion() byte {
+	if s.cfg.MaxVersion > 0 && s.cfg.MaxVersion < protoVersionMax {
+		return byte(s.cfg.MaxVersion)
+	}
+	return protoVersionMax
 }
 
 // shardFor maps a tenant onto its shard by FNV-1a hash.
@@ -255,9 +274,11 @@ func (s *Server) enqueueMust(sh *shard, msg shardMsg) {
 	sh.ch <- msg
 }
 
-// handle runs one session: HELLO, WELCOME, then the DATA/FINISH loop.
-// The handler owns the read side; the shard worker owns the upload
-// buffer and sends GRANT/ACK frames.
+// handle runs one session. The opening frame selects the session type:
+// HELLO starts an upload (WELCOME, then the DATA/FINISH loop), ATTACH
+// joins the fleet job plane as a worker or submitter, FETCH streams a
+// stored bundle back. For uploads the handler owns the read side; the
+// shard worker owns the upload buffer and sends GRANT/ACK frames.
 func (s *Server) handle(conn net.Conn) {
 	defer s.handlers.Done()
 	defer func() {
@@ -268,9 +289,21 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 
 	kind, payload, err := readFrame(conn)
-	if err != nil || kind != FrameHello {
+	if err != nil {
 		s.ctrs.rejected.Add(1)
 		return // nothing was negotiated; no frame owed
+	}
+	switch kind {
+	case FrameHello:
+	case FrameAttach:
+		s.broker.handleAttach(conn, payload)
+		return
+	case FrameFetch:
+		s.handleFetch(conn, payload)
+		return
+	default:
+		s.ctrs.rejected.Add(1)
+		return
 	}
 	hello, err := decodeHello(payload)
 	if err != nil || hello.Version < protoVersionMin {
@@ -282,8 +315,8 @@ func (s *Server) handle(conn net.Conn) {
 	// Speak the newest version both sides know: a future client offering
 	// a higher version is answered at our ceiling, not rejected.
 	version := hello.Version
-	if version > protoVersionMax {
-		version = protoVersionMax
+	if version > s.maxVersion() {
+		version = s.maxVersion()
 	}
 	if hello.SizeHint > uint64(s.cfg.MaxUploadBytes) {
 		s.ctrs.rejected.Add(1)
@@ -328,7 +361,24 @@ func (s *Server) handle(conn net.Conn) {
 			return // torn upload: the deferred abort reclaims state
 		}
 		switch kind {
-		case FrameData:
+		case FrameData, FrameDataZ:
+			if kind == FrameDataZ {
+				if version < 3 {
+					s.ctrs.rejected.Add(1)
+					s.writeErrorFrame(up, CodeProtocol, false, "dataz frame on a v"+
+						fmt.Sprint(version)+" session")
+					return
+				}
+				// Decode before the shard queue so the grant (and every
+				// byte-accounting path) sees decoded sizes.
+				payload, err = decodeDataZ(payload)
+				if err != nil {
+					s.ctrs.rejected.Add(1)
+					s.writeErrorFrame(up, CodeProtocol, false, err.Error())
+					return
+				}
+				s.ctrs.framesCompressed.Add(1)
+			}
 			if !s.enqueue(sh, shardMsg{up: up, kind: FrameData, data: payload}) {
 				s.ctrs.shed.Add(1)
 				s.writeErrorFrame(up, CodeOverloaded, true, "shard queue full")
@@ -426,7 +476,10 @@ func (s *Server) finishUpload(up *upload, want [digestSize]byte) {
 	if existed {
 		s.ctrs.duplicates.Add(1)
 	}
-	if s.verdicts.claim(up.tenant, digest) {
+	// Fleet bundles are job inputs, not recordings to audit: the fleet
+	// is about to replay them on purpose, so burning a verifier on each
+	// would double every distributed run's work.
+	if up.tenant != FleetTenant && s.verdicts.claim(up.tenant, digest) {
 		// Verification reads the bundle back from the store (not the pooled
 		// buffer, which is about to be recycled): the verdict describes the
 		// durable object.
@@ -449,3 +502,40 @@ func (s *Server) finishUpload(up *upload, want [digestSize]byte) {
 
 // hexDigest is a tiny helper for tests and the CLI.
 func hexDigest(sum [digestSize]byte) string { return hex.EncodeToString(sum[:]) }
+
+// FleetTenant is the reserved tenant fleet submitters upload job
+// bundles under. Fleet bundles skip the background verifier — workers
+// replay them as part of the job itself.
+const FleetTenant = "_fleet"
+
+// handleFetch streams a stored bundle back to a worker: DATA frames in
+// upload-sized chunks, then FINISH carrying the SHA-256 of the whole
+// object so the worker can check what it reassembled.
+func (s *Server) handleFetch(conn net.Conn, payload []byte) {
+	up := &upload{conn: conn, wmu: &sync.Mutex{}}
+	f, err := decodeFetch(payload)
+	if err != nil {
+		s.ctrs.rejected.Add(1)
+		s.writeErrorFrame(up, CodeProtocol, false, err.Error())
+		return
+	}
+	data, err := s.store.Get(f.Digest)
+	if err != nil {
+		s.writeErrorFrame(up, CodeNotFound, false, fmt.Sprintf("digest %s: %v", f.Digest, err))
+		return
+	}
+	for off := 0; off < len(data); off += uploadChunk {
+		end := off + uploadChunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if !s.writeFrame(up, FrameData, data[off:end]) {
+			return
+		}
+	}
+	sum := sha256.Sum256(data)
+	a := wire.GetAppender()
+	defer wire.PutAppender(a)
+	appendFinish(a, finishPayload{Digest: sum})
+	s.writeFrame(up, FrameFinish, a.Buf)
+}

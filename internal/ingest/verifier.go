@@ -2,11 +2,10 @@ package ingest
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/isa"
 	"repro/internal/workload"
 )
@@ -18,12 +17,14 @@ type verifyJob struct {
 	data   []byte
 }
 
-// verifierPool drains stored uploads in the background: each worker
-// salvages the stream, rebuilds the recorded program from the manifest's
-// name, replays it with the checkpoint-partitioned parallel replayer,
-// and publishes a verdict. The queue is an in-memory list fed by shard
-// workers — enqueue never blocks the ingest data path; the measured
-// queue depth is the backlog signal.
+// verifierPool drains stored uploads in the background: a single
+// drainer goroutine repeatedly grabs the pending batch and fans it out
+// through the dispatch layer, where each task salvages the stream,
+// rebuilds the recorded program from the manifest's name, replays it
+// with the checkpoint-partitioned parallel replayer, and publishes a
+// verdict. The queue is an in-memory list fed by shard workers —
+// enqueue never blocks the ingest data path; the measured queue depth
+// is the backlog signal.
 type verifierPool struct {
 	workers int
 	replayW int // Workers passed to core.ReplayWorkers
@@ -44,10 +45,8 @@ func newVerifierPool(workers, replayWorkers int, board *verdictBoard) *verifierP
 	}
 	p := &verifierPool{workers: workers, replayW: replayWorkers, verdicts: board}
 	p.cond = sync.NewCond(&p.mu)
-	for i := 0; i < workers; i++ {
-		p.wg.Add(1)
-		go p.run()
-	}
+	p.wg.Add(1)
+	go p.run()
 	return p
 }
 
@@ -84,6 +83,9 @@ func (p *verifierPool) close() {
 	p.wg.Wait()
 }
 
+// run is the drainer: it owns no per-job goroutines of its own — each
+// drained batch goes through the same executor abstraction as every
+// other parallel path, bounded by the pool's worker count.
 func (p *verifierPool) run() {
 	defer p.wg.Done()
 	for {
@@ -95,18 +97,22 @@ func (p *verifierPool) run() {
 			p.mu.Unlock()
 			return
 		}
-		j := p.queue[0]
-		p.queue = p.queue[1:]
-		p.busy++
+		batch := p.queue
+		p.queue = nil
+		p.busy += len(batch)
 		p.mu.Unlock()
 
-		v := verifyBundle(j, p.replayW)
-		p.verdicts.publish(v)
-
-		p.mu.Lock()
-		p.busy--
-		p.mu.Unlock()
-		p.cond.Broadcast() // wake waitIdle as well as workers
+		dispatch.Local{Workers: p.workers}.Execute(dispatch.Spec{
+			Tasks: len(batch),
+			Run: func(i int) error {
+				p.verdicts.publish(verifyBundle(batch[i], p.replayW))
+				p.mu.Lock()
+				p.busy--
+				p.mu.Unlock()
+				p.cond.Broadcast() // wake waitIdle as well as the drainer
+				return nil
+			},
+		})
 	}
 }
 
@@ -114,16 +120,7 @@ func (p *verifierPool) run() {
 // name: catalogue workloads resolve through the suite, fuzz programs
 // ("fuzz-<seed>") regenerate from their seed.
 func programByName(name string, threads int) (*isa.Program, error) {
-	if spec, ok := workload.ByName(name); ok {
-		return spec.Build(threads), nil
-	}
-	if s, ok := strings.CutPrefix(name, "fuzz-"); ok {
-		seed, err := strconv.ParseUint(s, 10, 64)
-		if err == nil {
-			return workload.RandomProgram(seed, threads), nil
-		}
-	}
-	return nil, fmt.Errorf("ingest: program %q not in the workload catalogue", name)
+	return workload.ProgramByName(name, threads)
 }
 
 // verifyBundle is the whole per-bundle pipeline: salvage, rebuild,

@@ -2,10 +2,11 @@ package races
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/isa"
-	"repro/internal/pool"
 	"repro/internal/replay"
 )
 
@@ -57,12 +58,26 @@ func Detect(prog *isa.Program, b *core.Bundle) (*Report, error) {
 
 // DetectWorkers is Detect with both phases' parallelizable parts fanned
 // out over a bounded worker pool (0 or 1 workers: serial, negative:
-// runtime.GOMAXPROCS(0)): screening parallelizes per concurrent pair,
-// confirmation per conflict address. The access-traced replay itself
-// stays serial — it is a single deterministic execution. The report is
-// identical for every worker count.
+// runtime.GOMAXPROCS(0)): screening parallelizes per pair block,
+// confirmation per conflict-address slice. The access-traced replay
+// itself stays serial — it is a single deterministic execution. The
+// report is identical for every worker count.
 func DetectWorkers(prog *isa.Program, b *core.Bundle, workers int) (*Report, error) {
-	cands, pairs, err := screen(b, workers)
+	return detectExec(prog, b, workers, dispatch.Local{Workers: workers}, "")
+}
+
+// DetectExec is Detect with both phases dispatched through an executor:
+// a fleet executor ships screening blocks and confirmation slices as
+// jobs referencing the bundle by digest, and the workers redo the
+// access-traced replay themselves. The report is bit-identical to a
+// local run: the job tilings are fixed protocol constants, every merge
+// is index-ordered, and the final race list is totally ordered.
+func DetectExec(prog *isa.Program, b *core.Bundle, exec dispatch.Executor, digest string) (*Report, error) {
+	return detectExec(prog, b, 0, exec, digest)
+}
+
+func detectExec(prog *isa.Program, b *core.Bundle, workers int, exec dispatch.Executor, digest string) (*Report, error) {
+	cands, pairs, err := screenExec(b, workers, exec, digest)
 	if err != nil {
 		return nil, err
 	}
@@ -78,11 +93,10 @@ func DetectWorkers(prog *isa.Program, b *core.Bundle, workers int) (*Report, err
 	if len(cands) == 0 {
 		return rep, nil
 	}
-	_, events, err := core.TraceAccesses(prog, b)
+	rep.Races, rep.ConfirmedPairs, err = confirmExec(prog, b, cands, exec, digest)
 	if err != nil {
 		return nil, err
 	}
-	rep.Races, rep.ConfirmedPairs = confirm(b.Threads, cands, events, workers)
 	rep.FalsePositiveRate = float64(len(cands)-rep.ConfirmedPairs) / float64(len(cands))
 	return rep, nil
 }
@@ -107,16 +121,140 @@ type pairKey struct{ ta, ca, tb, cb int }
 
 // raceKey deduplicates race reports.
 type raceKey struct {
-	addr       uint64
-	ta, pa     int
-	wa         bool
-	tb, pb     int
-	wb         bool
+	addr   uint64
+	ta, pa int
+	wa     bool
+	tb, pb int
+	wb     bool
 }
 
-// confirm rebuilds the happens-before order from the traced
-// synchronization accesses and reports the unordered conflicting plain
-// access pairs that fall inside candidate chunk pairs.
+// confirmSlices tiles the sorted conflict-address list into dispatch
+// tasks: slice k of n owns addresses k, k+n, k+2n, ... Like
+// screenBlockSize it is a protocol constant — the dispatching side must
+// know the task count without tracing, so it cannot depend on the
+// address count. Whole addresses stay within one slice, which preserves
+// the per-address race deduplication, and the final total-order sort
+// makes the merge independent of slicing entirely.
+const confirmSlices = 8
+
+// confirmExec runs the confirmation phase through an executor. The
+// local path traces the recording once (lazily, on the first Run call)
+// and confirms address slices in-process; a remote executor ships
+// JobConfirmSlice envelopes and each worker re-derives the trace and
+// candidate set from the bundle — both deterministic — before
+// confirming its slice.
+func confirmExec(prog *isa.Program, b *core.Bundle, cands []Candidate, exec dispatch.Executor, digest string) ([]Race, int, error) {
+	var (
+		once sync.Once
+		st   *confirmState
+		prep error
+	)
+	slices := make([]sliceRaces, confirmSlices)
+	err := exec.Execute(dispatch.Spec{
+		Tasks: confirmSlices,
+		Run: func(k int) error {
+			once.Do(func() {
+				_, events, err := core.TraceAccesses(prog, b)
+				if err != nil {
+					prep = err
+					return
+				}
+				st = buildConfirmState(b.Threads, cands, events)
+			})
+			if prep != nil {
+				return prep
+			}
+			slices[k] = st.confirmSlice(k, confirmSlices)
+			return nil
+		},
+		Job: func(k int) (dispatch.Job, error) {
+			return dispatch.Job{
+				Kind:    dispatch.JobConfirmSlice,
+				Digest:  digest,
+				Payload: encodeConfirmJob(k, confirmSlices, len(cands)),
+			}, nil
+		},
+		Absorb: func(k int, data []byte) error {
+			s, err := decodeSliceRaces(data)
+			if err != nil {
+				return err
+			}
+			slices[k] = s
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	races, confirmed := mergeSlices(slices)
+	return races, confirmed, nil
+}
+
+// sliceRaces is one confirmation slice's output.
+type sliceRaces struct {
+	races     []Race
+	confirmed []pairKey
+}
+
+// mergeSlices merges per-slice outputs: races concatenate and then take
+// the total order (so slicing is invisible), confirmed pairs union.
+func mergeSlices(slices []sliceRaces) ([]Race, int) {
+	confirmed := map[pairKey]bool{}
+	var races []Race
+	for _, s := range slices {
+		races = append(races, s.races...)
+		for _, pk := range s.confirmed {
+			confirmed[pk] = true
+		}
+	}
+	sortRaces(races)
+	return races, len(confirmed)
+}
+
+// sortRaces puts races in their canonical total order: the tie-breakers
+// past PCB make the sort independent of the pre-sort order, so serial,
+// parallel and fleet runs report identically.
+func sortRaces(races []Race) {
+	sort.Slice(races, func(i, j int) bool {
+		a, b := races[i], races[j]
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		if a.ThreadA != b.ThreadA {
+			return a.ThreadA < b.ThreadA
+		}
+		if a.PCA != b.PCA {
+			return a.PCA < b.PCA
+		}
+		if a.PCB != b.PCB {
+			return a.PCB < b.PCB
+		}
+		if a.ChunkA != b.ChunkA {
+			return a.ChunkA < b.ChunkA
+		}
+		if a.ChunkB != b.ChunkB {
+			return a.ChunkB < b.ChunkB
+		}
+		if a.KindA != b.KindA {
+			return a.KindA < b.KindA
+		}
+		return a.KindB < b.KindB
+	})
+}
+
+// confirmState is the happens-before analysis shared by every
+// confirmation slice: candidate indices, vector-clocked samples of
+// candidate-chunk plain accesses grouped by address, and the sorted
+// address list the slices tile.
+type confirmState struct {
+	candPairs map[pairKey]bool
+	byAddr    map[uint64][]*sample
+	addrs     []uint64
+}
+
+// buildConfirmState rebuilds the happens-before order from the traced
+// synchronization accesses and samples the plain accesses inside
+// candidate chunks.
 //
 // Vector-clock rules (events arrive in deterministic replay order):
 //
@@ -128,7 +266,7 @@ type raceKey struct {
 // snapshot their thread's clock. Addresses that carry synchronization
 // are excluded from race reporting — the program is ordering itself
 // through them on purpose.
-func confirm(threads int, cands []Candidate, events []replay.AccessEvent, workers int) ([]Race, int) {
+func buildConfirmState(threads int, cands []Candidate, events []replay.AccessEvent) *confirmState {
 	candChunks := map[[2]int]bool{}
 	candPairs := map[pairKey]bool{}
 	for _, c := range cands {
@@ -198,25 +336,26 @@ func confirm(threads int, cands []Candidate, events []replay.AccessEvent, worker
 		}
 	}
 
-	// Pair up unordered conflicting samples within candidate pairs. Every
-	// race pairs two samples of one address and raceKey includes the
-	// address, so addresses are independent units of work: fan them out
-	// over the pool (sorted so the slot order is stable), collect each
-	// address's races and confirmed pairs into its own slot, and merge in
-	// address order.
+	// Sort the conflict addresses so every executor tiles the same list:
+	// slice k of n owns addresses k, k+n, ... of this order.
 	addrs := make([]uint64, 0, len(byAddr))
 	for addr := range byAddr {
 		addrs = append(addrs, addr)
 	}
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	type addrRaces struct {
-		races     []Race
-		confirmed []pairKey
-	}
-	slots := make([]addrRaces, len(addrs))
-	pool.ForEach(pool.Resolve(workers), len(addrs), func(n int) {
-		addr := addrs[n]
-		samples := byAddr[addr]
+	return &confirmState{candPairs: candPairs, byAddr: byAddr, addrs: addrs}
+}
+
+// confirmSlice pairs up unordered conflicting samples within candidate
+// pairs, for the addresses slice k of n owns. Every race pairs two
+// samples of one address and raceKey includes the address, so addresses
+// are independent units of work; keeping whole addresses inside one
+// slice preserves the per-address dedup maps.
+func (st *confirmState) confirmSlice(k, n int) sliceRaces {
+	var out sliceRaces
+	for ai := k; ai < len(st.addrs); ai += n {
+		addr := st.addrs[ai]
+		samples := st.byAddr[addr]
 		seen := map[raceKey]bool{}
 		addrConfirmed := map[pairKey]bool{}
 		for i, a := range samples {
@@ -229,7 +368,7 @@ func confirm(threads int, cands []Candidate, events []replay.AccessEvent, worker
 					lo, hi = hi, lo
 				}
 				pk := pairKey{lo.thread, lo.chunk, hi.thread, hi.chunk}
-				if !candPairs[pk] {
+				if !st.candPairs[pk] {
 					continue
 				}
 				rk := raceKey{addr, lo.thread, lo.pc, lo.write, hi.thread, hi.pc, hi.write}
@@ -242,52 +381,17 @@ func confirm(threads int, cands []Candidate, events []replay.AccessEvent, worker
 				seen[rk] = true
 				if !addrConfirmed[pk] {
 					addrConfirmed[pk] = true
-					slots[n].confirmed = append(slots[n].confirmed, pk)
+					out.confirmed = append(out.confirmed, pk)
 				}
-				slots[n].races = append(slots[n].races, Race{
+				out.races = append(out.races, Race{
 					Addr:    addr,
 					ThreadA: lo.thread, PCA: lo.pc, ChunkA: lo.chunk, KindA: kindName(lo.write),
 					ThreadB: hi.thread, PCB: hi.pc, ChunkB: hi.chunk, KindB: kindName(hi.write),
 				})
 			}
 		}
-	})
-	confirmed := map[pairKey]bool{}
-	var races []Race
-	for _, s := range slots {
-		races = append(races, s.races...)
-		for _, pk := range s.confirmed {
-			confirmed[pk] = true
-		}
 	}
-	// Total order: the tie-breakers past PCB make the sort independent of
-	// the pre-sort order, so serial and parallel runs report identically.
-	sort.Slice(races, func(i, j int) bool {
-		a, b := races[i], races[j]
-		if a.Addr != b.Addr {
-			return a.Addr < b.Addr
-		}
-		if a.ThreadA != b.ThreadA {
-			return a.ThreadA < b.ThreadA
-		}
-		if a.PCA != b.PCA {
-			return a.PCA < b.PCA
-		}
-		if a.PCB != b.PCB {
-			return a.PCB < b.PCB
-		}
-		if a.ChunkA != b.ChunkA {
-			return a.ChunkA < b.ChunkA
-		}
-		if a.ChunkB != b.ChunkB {
-			return a.ChunkB < b.ChunkB
-		}
-		if a.KindA != b.KindA {
-			return a.KindA < b.KindA
-		}
-		return a.KindB < b.KindB
-	})
-	return races, len(confirmed)
+	return out
 }
 
 func kindName(write bool) string {

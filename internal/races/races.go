@@ -27,7 +27,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
-	"repro/internal/pool"
+	"repro/internal/dispatch"
 	"repro/internal/signature"
 )
 
@@ -57,26 +57,92 @@ func Screen(b *core.Bundle) ([]Candidate, error) {
 }
 
 // ScreenWorkers is Screen with the concurrent-pair enumeration and the
-// per-pair signature intersections fanned out over a bounded worker pool
-// (0 or 1 workers: serial, negative: runtime.GOMAXPROCS(0)). Candidates
-// are collected into per-pair slots and compacted in pair order, so the
-// result is identical for every worker count.
+// per-block signature intersections fanned out over a bounded worker
+// pool (0 or 1 workers: serial, negative: runtime.GOMAXPROCS(0)).
+// Candidates are collected into per-block slots and concatenated in
+// block (= pair) order, so the result is identical for every worker
+// count.
 func ScreenWorkers(b *core.Bundle, workers int) ([]Candidate, error) {
 	cands, _, err := screen(b, workers)
+	return cands, err
+}
+
+// ScreenExec is Screen with the per-block intersections dispatched
+// through an executor — a fleet executor ships JobScreenBlock envelopes
+// referencing the bundle by digest. The candidate list is identical to
+// every local run: blocks are a fixed-size tiling of the pair list, and
+// the pair list is a pure function of the chunk logs.
+func ScreenExec(b *core.Bundle, exec dispatch.Executor, digest string) ([]Candidate, error) {
+	cands, _, err := screenExec(b, 0, exec, digest)
 	return cands, err
 }
 
 // screen implements Screen/ScreenWorkers and additionally returns the
 // concurrent-pair count so Detect need not re-enumerate the pairs.
 func screen(b *core.Bundle, workers int) ([]Candidate, int, error) {
+	return screenExec(b, workers, dispatch.Local{Workers: workers}, "")
+}
+
+// screenBlockSize tiles the concurrent-pair list into dispatch tasks.
+// The block size is a protocol constant, not a tuning knob: the task
+// list must be the same for every executor so local and fleet runs
+// screen identical blocks.
+const screenBlockSize = 2048
+
+// screenExec runs the screening phase through an executor. workers
+// bounds the client-side pair enumeration (remote executors still
+// enumerate locally — the pair list sizes the job list).
+func screenExec(b *core.Bundle, workers int, exec dispatch.Executor, digest string) ([]Candidate, int, error) {
 	decoded, err := decodeSigLogs(b)
 	if err != nil {
 		return nil, 0, err
 	}
 	pairs := analysis.ConcurrentPairsWorkers(b.ChunkLogs, workers)
-	slots := make([]Candidate, len(pairs))
-	hit := make([]bool, len(pairs))
-	pool.ForEach(pool.Resolve(workers), len(pairs), func(i int) {
+	nblocks := (len(pairs) + screenBlockSize - 1) / screenBlockSize
+	perBlock := make([][]Candidate, nblocks)
+	err = exec.Execute(dispatch.Spec{
+		Tasks: nblocks,
+		Run: func(bi int) error {
+			perBlock[bi] = screenBlock(decoded, pairs, bi)
+			return nil
+		},
+		Job: func(bi int) (dispatch.Job, error) {
+			return dispatch.Job{
+				Kind:    dispatch.JobScreenBlock,
+				Digest:  digest,
+				Payload: encodeScreenJob(bi, len(pairs)),
+			}, nil
+		},
+		Absorb: func(bi int, data []byte) error {
+			cands, err := decodeCandidates(data)
+			if err != nil {
+				return err
+			}
+			perBlock[bi] = cands
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []Candidate
+	for _, cands := range perBlock {
+		out = append(out, cands...)
+	}
+	return out, len(pairs), nil
+}
+
+// screenBlock intersects the signatures of one block of pairs, in pair
+// order. Shared by the local Run path and the worker side of
+// JobScreenBlock, which is what makes the two bit-identical.
+func screenBlock(decoded [][]chunkSigs, pairs []analysis.ChunkPair, bi int) []Candidate {
+	lo := bi * screenBlockSize
+	hi := lo + screenBlockSize
+	if hi > len(pairs) {
+		hi = len(pairs)
+	}
+	var out []Candidate
+	for i := lo; i < hi; i++ {
 		pair := pairs[i]
 		sa := decoded[pair.ThreadA][pair.ChunkA]
 		sb := decoded[pair.ThreadB][pair.ChunkB]
@@ -87,16 +153,10 @@ func screen(b *core.Bundle, workers int) ([]Candidate, int, error) {
 			WriteWrite: sa.write.Intersects(sb.write),
 		}
 		if c.ReadWrite || c.WriteRead || c.WriteWrite {
-			slots[i], hit[i] = c, true
-		}
-	})
-	var out []Candidate
-	for i := range slots {
-		if hit[i] {
-			out = append(out, slots[i])
+			out = append(out, c)
 		}
 	}
-	return out, len(pairs), nil
+	return out
 }
 
 // chunkSigs is one chunk's decoded signature pair.

@@ -25,8 +25,9 @@ import (
 
 	"repro/internal/capo"
 	"repro/internal/chunk"
+	"repro/internal/dispatch"
 	"repro/internal/isa"
-	"repro/internal/pool"
+	"repro/internal/mem"
 )
 
 // BoundaryError reports that a replayed interval's final machine state
@@ -57,23 +58,27 @@ func (e *BoundaryError) Error() string {
 // effectiveWorkers resolves Input.Workers: 0 and 1 mean serial, negative
 // means runtime.GOMAXPROCS(0), anything else is taken as-is.
 func effectiveWorkers(n int) int {
-	return pool.Resolve(n)
+	return dispatch.Resolve(n)
 }
 
 // intervalBoundary is the expected machine state at the end of an
 // interior interval, extracted from the next checkpoint. The memory
-// checksum is precomputed serially during partitioning so workers never
-// touch a checkpoint's memory image concurrently.
+// image is checksummed lazily by the one interval that validates
+// against it — partitioning must stay cheap because remote workers
+// re-derive the partition per job, and eager checksums would make that
+// O(checkpoints) full-memory scans per job. Concurrent lazy reads are
+// safe: Checksum is a pure read and interval replays snapshot their
+// start state instead of mutating the checkpoint's image.
 type intervalBoundary struct {
-	interval    int
-	memChecksum uint64
-	contexts    []isa.Context
-	exited      []bool
-	sigRegs     [][isa.NumRegs]uint64
-	sigPC       []int
-	handlerPC   int
-	handlerOK   bool
-	output      []byte
+	interval  int
+	endMem    *mem.Memory
+	contexts  []isa.Context
+	exited    []bool
+	sigRegs   [][isa.NumRegs]uint64
+	sigPC     []int
+	handlerPC int
+	handlerOK bool
+	output    []byte
 }
 
 // interval is one independently replayable slice of the recording.
@@ -99,8 +104,19 @@ type interval struct {
 // salvaged prefix cut them off) are skipped, so truncation always lands
 // in the final interval.
 func partition(in Input) []*interval {
-	if effectiveWorkers(in.Workers) < 2 ||
-		len(in.Checkpoints) == 0 || in.InputLog == nil {
+	// A remote executor always partitions (the interval list is the job
+	// list); local replay partitions only when Workers asks for it.
+	if in.Exec == nil && effectiveWorkers(in.Workers) < 2 {
+		return nil
+	}
+	return partitionCuts(in)
+}
+
+// partitionCuts is partition without the worker-count gate: the pure
+// function of the Input that both the dispatching side and a remote
+// worker evaluate, so they agree on the interval list by construction.
+func partitionCuts(in Input) []*interval {
+	if len(in.Checkpoints) == 0 || in.InputLog == nil {
 		return nil
 	}
 	prevChunk := make([]int, in.Threads)
@@ -149,15 +165,15 @@ func partition(in Input) []*interval {
 		if k < len(cuts) {
 			s := cuts[k].State
 			iv.end = &intervalBoundary{
-				interval:    k,
-				memChecksum: s.Mem.Checksum(),
-				contexts:    s.Contexts,
-				exited:      s.Exited,
-				sigRegs:     s.SigRegs,
-				sigPC:       s.SigPC,
-				handlerPC:   s.HandlerPC,
-				handlerOK:   s.HandlerOK,
-				output:      s.OutputPrefix,
+				interval:  k,
+				endMem:    s.Mem,
+				contexts:  s.Contexts,
+				exited:    s.Exited,
+				sigRegs:   s.SigRegs,
+				sigPC:     s.SigPC,
+				handlerPC: s.HandlerPC,
+				handlerOK: s.HandlerOK,
+				output:    s.OutputPrefix,
 			}
 			start = s
 			copy(base, cuts[k].ChunkPos)
@@ -198,20 +214,46 @@ func usableCut(ck IntervalCheckpoint, in Input, prevChunk []int, prevInput int) 
 	return advanced || ck.InputPos > prevInput
 }
 
-// runParallel replays the intervals on a bounded worker pool and
-// stitches the per-interval results. Error selection is deterministic:
-// every interval runs to completion and the earliest failing interval's
-// error is returned, regardless of goroutine finishing order.
+// runParallel replays the intervals through an executor and stitches
+// the per-interval results. The executor is Input.Exec when set (a
+// fleet run ships interval jobs by digest) and otherwise a Local
+// executor bounded by Input.Workers. Error selection is deterministic
+// either way: the earliest failing interval's error is returned,
+// regardless of goroutine or worker finishing order.
 func runParallel(in Input, ivs []*interval) (*Result, error) {
 	results := make([]*Result, len(ivs))
-	errs := make([]error, len(ivs))
-	pool.ForEach(effectiveWorkers(in.Workers), len(ivs), func(i int) {
-		results[i], errs[i] = runInterval(in, ivs[i])
+	exec := in.Exec
+	if exec == nil {
+		exec = dispatch.Local{Workers: in.Workers}
+	}
+	err := exec.Execute(dispatch.Spec{
+		Tasks: len(ivs),
+		Run: func(i int) error {
+			r, err := runInterval(in, ivs[i])
+			if err != nil {
+				return err
+			}
+			results[i] = r
+			return nil
+		},
+		Job: func(i int) (dispatch.Job, error) {
+			return dispatch.Job{
+				Kind:    dispatch.JobReplayInterval,
+				Digest:  in.Digest,
+				Payload: encodeIntervalJob(i, len(ivs)),
+			}, nil
+		},
+		Absorb: func(i int, data []byte) error {
+			r, err := decodeIntervalResult(data, i == len(ivs)-1)
+			if err != nil {
+				return err
+			}
+			results[i] = r
+			return nil
+		},
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
 	}
 	return stitch(ivs, results), nil
 }
@@ -284,8 +326,8 @@ func (r *replayer) finishAtBoundary() (*Result, error) {
 			len(r.output), len(b.output))
 	}
 	sum := r.memory.Checksum()
-	if sum != b.memChecksum {
-		return nil, whole("memory checksum %#x does not match checkpoint %#x", sum, b.memChecksum)
+	if want := b.endMem.Checksum(); sum != want {
+		return nil, whole("memory checksum %#x does not match checkpoint %#x", sum, want)
 	}
 	r.res.MemChecksum = sum
 	r.res.Output = r.output

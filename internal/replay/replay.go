@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/capo"
 	"repro/internal/chunk"
+	"repro/internal/dispatch"
 	"repro/internal/isa"
 	"repro/internal/mem"
 )
@@ -76,6 +77,16 @@ type Input struct {
 	// replay and Start is nil (a tail replay already has a single
 	// implied interval); ChunkPos/InputPos index into ChunkLogs/InputLog.
 	Checkpoints []IntervalCheckpoint
+	// Exec, when non-nil, overrides the Workers-bounded local pool for
+	// interval fan-out: the recording partitions at Checkpoints exactly
+	// as for local parallel replay, and every interval becomes one
+	// dispatch job. A remote executor requires Digest to be set so
+	// workers can fetch the bundle by content address.
+	Exec dispatch.Executor
+	// Digest is the content address (lowercase hex SHA-256) of the
+	// recording's uploaded bytes, stamped into remote interval jobs.
+	// Ignored by local executors.
+	Digest string
 }
 
 // IntervalCheckpoint locates one flight-recorder snapshot inside a full

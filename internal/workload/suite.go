@@ -1,6 +1,12 @@
 package workload
 
-import "repro/internal/isa"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
 
 // Spec describes one benchmark in the evaluation suite.
 type Spec struct {
@@ -167,6 +173,24 @@ func ByName(name string) (Spec, bool) {
 		}
 	}
 	return Spec{}, false
+}
+
+// ProgramByName rebuilds a program from a recording's manifest name:
+// catalogue workloads resolve through the suite, fuzz programs
+// ("fuzz-<seed>") regenerate from their seed. This is how services that
+// receive only a bundle — the ingest verifier, fleet workers — recover
+// the code a recording ran.
+func ProgramByName(name string, threads int) (*isa.Program, error) {
+	if spec, ok := ByName(name); ok {
+		return spec.Build(threads), nil
+	}
+	if s, ok := strings.CutPrefix(name, "fuzz-"); ok {
+		seed, err := strconv.ParseUint(s, 10, 64)
+		if err == nil {
+			return RandomProgram(seed, threads), nil
+		}
+	}
+	return nil, fmt.Errorf("workload: program %q not in the catalogue", name)
 }
 
 // ScaledSuite returns the evaluation suite with workload inputs grown by

@@ -27,6 +27,7 @@ import (
 	"repro/internal/capo"
 	"repro/internal/chunk"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/isa"
 	"repro/internal/machine"
@@ -378,6 +379,22 @@ func Races(prog *Program, rec *Recording) (*RaceReport, error) {
 func RacesParallel(prog *Program, rec *Recording, workers int) (*RaceReport, error) {
 	return races.DetectWorkers(prog, rec, workers)
 }
+
+// FleetClient distributes replay and race detection across remote
+// worker processes (quickrecd worker) attached to an ingest server's
+// job broker. Client.Replay and Client.Races upload the recording to
+// the server's content-addressed store once, then ship per-interval,
+// per-block and per-slice job envelopes naming it by digest; results
+// are bit-identical to the serial Replay and Races for any worker
+// count, and a worker that dies or stalls mid-job only costs latency —
+// its jobs are re-dispatched to surviving peers. See
+// docs/INTERNALS.md §17.
+type FleetClient = fleet.Client
+
+// DialFleet attaches to a fleet server (quickrecd serve) as a job
+// submitter. The returned client is also a dispatch executor; it is
+// not safe for concurrent use.
+func DialFleet(addr string) (*FleetClient, error) { return fleet.Dial(addr) }
 
 // Tail derives the flight-recorder bundle from a recording made with
 // Options.CheckpointEveryInstrs: the last checkpoint plus only the log
